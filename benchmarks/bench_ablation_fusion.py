@@ -1,0 +1,76 @@
+"""Ablation: the impact of multiloop fusion itself.
+
+§3.1: "Making parallel patterns compose efficiently is often the single
+most important optimization required." This ablation compares sequential
+simulated time of each application compiled (a) without any optimization
+(every pattern materializes its output), (b) with fusion/CSE/DCE but no
+nested pattern transformations, and (c) with the full pipeline — plus the
+count of traversals (top-level loops) at each stage.
+"""
+
+from conftest import emit, once
+
+from repro.analysis.partitioning import partition_and_transform
+from repro.analysis.stencil import analyze_program
+from repro.bench import get_bundle
+from repro.core.multiloop import MultiLoop
+from repro.pipeline import CompiledProgram
+from repro.report.tables import render_table
+from repro.runtime import DMLL_CPP, NUMA_BOX, ExecOptions, Simulator, capture_run
+
+APPS = ("q1", "gene", "kmeans", "logreg", "gda")
+
+
+def raw_compiled(bundle) -> CompiledProgram:
+    """The staged program with *no* optimization at all."""
+    prog = bundle._factory()
+    prog, report = partition_and_transform(prog, rules=())
+    return CompiledProgram(prog, report, analyze_program(prog), "cpu")
+
+
+def loops_of(compiled) -> int:
+    return sum(1 for d in compiled.program.body.stmts
+               if isinstance(d.op, MultiLoop))
+
+
+def seconds(bundle, compiled) -> float:
+    cap = capture_run(compiled, bundle.inputs)
+    sim = Simulator(compiled, NUMA_BOX, DMLL_CPP,
+                    ExecOptions(sequential=True, scale=bundle.scale,
+                                data_scale=bundle.data_scale)).price(cap)
+    return sim.total_seconds
+
+
+def compute_ablation():
+    rows = []
+    gains = {}
+    for name in APPS:
+        b = get_bundle(name)
+        raw = raw_compiled(b)
+        fused = b.compiled("plain")    # fusion, no Fig. 3 transforms
+        full = b.compiled("opt")
+        t_raw = seconds(b, raw)
+        t_fused = seconds(b, fused)
+        t_full = seconds(b, full)
+        gains[name] = (t_raw / t_fused, t_raw / t_full)
+        rows.append([name,
+                     f"{loops_of(raw)}", f"{loops_of(fused)}",
+                     f"{loops_of(full)}",
+                     f"{t_raw:.3f}s", f"{t_fused:.3f}s", f"{t_full:.3f}s",
+                     f"{t_raw / t_fused:.2f}x", f"{t_raw / t_full:.2f}x"])
+    return rows, gains
+
+
+def test_ablation_fusion(benchmark):
+    rows, gains = once(benchmark, compute_ablation)
+    text = render_table(
+        ["App", "loops raw", "loops fused", "loops full",
+         "t raw", "t fused", "t full", "fusion gain", "full gain"],
+        rows, title="Ablation: pipeline/horizontal fusion and the full "
+                    "pipeline vs the unoptimized program (sequential)")
+    emit("ablation_fusion", text)
+
+    for name, (fusion_gain, full_gain) in gains.items():
+        # fusion alone always helps, and never exceeds the full pipeline
+        assert fusion_gain > 1.0, (name, fusion_gain)
+        assert full_gain >= fusion_gain * 0.9, (name, gains[name])

@@ -1,0 +1,108 @@
+"""Figure 6: speedups from the nested pattern transformations.
+
+Left chart — GPU: LogReg and k-means, speedup over the non-transformed
+GPU implementation from (a) transposing the input matrix, (b) the
+Row-to-Column Reduce (scalar reductions), and (c) both.
+
+Right chart — CPU: Query 1, LogReg, k-means; speedup of the transformed
+program over the non-transformed one on 1 socket and on 4 sockets.
+
+Paper shape: on the GPU both apps need the transforms, k-means gets most
+of its win from the transpose, LogReg needs both combined; on the CPU
+Query 1 and LogReg win even on one socket, k-means' win is small on one
+socket and grows to ~3x on four (limited parallelism + cross-socket
+shuffling in the untransformed version).
+"""
+
+from conftest import emit, once
+
+from repro.bench import get_bundle
+from repro.report.tables import render_table
+from repro.runtime import (DMLL_CPP, GPU_CLUSTER, NUMA_BOX, ExecOptions,
+                           Simulator, single_node)
+
+
+def gpu_seconds(bundle, variant, transposed):
+    cap = bundle.capture(variant)
+    sim = Simulator(bundle.compiled(variant), single_node(GPU_CLUSTER),
+                    DMLL_CPP,
+                    ExecOptions(use_gpu=True, gpu_transposed=transposed,
+                                scale=bundle.scale,
+                                data_scale=bundle.data_scale)).price(cap)
+    return sim.total_seconds
+
+
+def cpu_seconds(bundle, variant, cores):
+    cap = bundle.capture(variant)
+    sim = Simulator(bundle.compiled(variant), NUMA_BOX, DMLL_CPP,
+                    ExecOptions(cores=cores, scale=bundle.scale,
+                                data_scale=bundle.data_scale)).price(cap)
+    return sim.total_seconds
+
+
+def compute_gpu():
+    out = {}
+    for name in ("logreg", "kmeans"):
+        b = get_bundle(name)
+        base = gpu_seconds(b, "opt", transposed=False)  # vector reduces
+        out[name] = {
+            "transpose": base / gpu_seconds(b, "opt", True),
+            "scalar reduce": base / gpu_seconds(b, "gpu", False),
+            "both": base / gpu_seconds(b, "gpu", True),
+        }
+    return out
+
+
+def compute_cpu():
+    out = {}
+    for name in ("q1", "logreg", "kmeans"):
+        b = get_bundle(name)
+        out[name] = {
+            "1 socket": cpu_seconds(b, "plain", 12) / cpu_seconds(b, "opt", 12),
+            "4 sockets": cpu_seconds(b, "plain", 48) / cpu_seconds(b, "opt", 48),
+        }
+    return out
+
+
+def test_fig6_gpu_transforms(benchmark):
+    gpu = once(benchmark, compute_gpu)
+    rows = [[app] + [f"{gpu[app][k]:.2f}x"
+                     for k in ("transpose", "scalar reduce", "both")]
+            for app in ("logreg", "kmeans")]
+    text = render_table(["App (GPU)", "transpose", "scalar reduce", "both"],
+                        rows, title="Figure 6 (left): GPU transformation "
+                                    "speedups over non-transformed")
+    emit("fig6_gpu_transforms", text)
+
+    # both transformations combined always win
+    for app in ("logreg", "kmeans"):
+        assert gpu[app]["both"] >= max(gpu[app]["transpose"],
+                                       gpu[app]["scalar reduce"]) - 1e-9
+        assert gpu[app]["both"] > 1.2
+    # k-means: the transpose provides most of the improvement (§6)
+    assert gpu["kmeans"]["transpose"] > 1.3
+    # logreg: needs the combination for maximum performance (§6)
+    assert gpu["logreg"]["both"] > gpu["logreg"]["transpose"]
+
+
+def test_fig6_cpu_transforms(benchmark):
+    cpu = once(benchmark, compute_cpu)
+    rows = [[app, f"{cpu[app]['1 socket']:.2f}x",
+             f"{cpu[app]['4 sockets']:.2f}x"]
+            for app in ("q1", "logreg", "kmeans")]
+    text = render_table(["App (CPU)", "1 socket", "4 sockets"], rows,
+                        title="Figure 6 (right): CPU transformation "
+                              "speedups over non-transformed")
+    emit("fig6_cpu_transforms", text)
+
+    # Query 1 and LogReg benefit even within a single socket (§6: "always
+    # beneficial for CPUs")
+    assert cpu["q1"]["1 socket"] > 1.5
+    assert cpu["logreg"]["1 socket"] > 1.5
+    # k-means: the transform is required for scaling (§6 reports ~3% on
+    # one socket growing to ~3x on four; in this model the untransformed
+    # version is already bandwidth-penalized on one socket, so the ratio
+    # starts higher and stays >2x — see EXPERIMENTS.md)
+    assert cpu["kmeans"]["1 socket"] > 1.3
+    assert cpu["kmeans"]["4 sockets"] > 1.5
+    assert cpu["kmeans"]["4 sockets"] > 0.9 * cpu["kmeans"]["1 socket"]

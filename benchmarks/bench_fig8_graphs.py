@@ -1,0 +1,78 @@
+"""Figure 8 (fourth chart): PageRank and Triangle Counting on the 4-node
+cluster, DMLL (OptiGraph, push model) vs PowerGraph.
+
+Paper shape: both systems push data to local nodes and compute locally;
+network transfer dominates, so overall performance is comparable (DMLL's
+generated compute is faster but "largely overshadowed by the
+communication") — and both are slower than the single NUMA machine, which
+is the paper's argument for big-memory boxes in graph analytics.
+"""
+
+from conftest import emit, once
+
+from repro.baselines import powergraph_pagerank, powergraph_triangles
+from repro.bench import get_bundle
+from repro.graph.optigraph import pagerank_push_program, triangle_program
+from repro.pipeline import compile_program
+from repro.report.tables import render_table
+from repro.runtime import (DMLL_CPP, GPU_CLUSTER, NUMA_BOX, ExecOptions,
+                           Simulator, capture_run)
+
+
+def compute_fig8d():
+    out = {}
+    pr = get_bundle("pagerank")
+    g = pr.graph
+
+    # OptiGraph selects the push formulation for distributed targets
+    push = compile_program(pagerank_push_program(), "distributed")
+    cap = capture_run(push, pr.inputs)
+    dmll_pr = Simulator(push, GPU_CLUSTER, DMLL_CPP,
+                        ExecOptions(scale=pr.scale,
+                                    data_scale=pr.data_scale)).price(cap)
+    _, pg_pr = powergraph_pagerank(g, GPU_CLUSTER, 1, scale=pr.scale)
+    out["pagerank"] = {"dmll": dmll_pr.total_seconds,
+                       "powergraph": pg_pr.sim_seconds}
+
+    tg = get_bundle("triangle")
+    cap_t = tg.capture("opt")
+    # 0.95: the hot hub adjacency lists are served by each node's local
+    # replica/cache (the skewed-access argument of §6.1, and what
+    # PowerGraph's high-degree mirrors achieve structurally)
+    dmll_tg = Simulator(tg.compiled("opt"), GPU_CLUSTER, DMLL_CPP,
+                        ExecOptions(scale=tg.scale,
+                                    data_scale=tg.data_scale,
+                                    remote_read_cache_fraction=0.95)
+                        ).price(cap_t)
+    _, pg_tg = powergraph_triangles(tg.graph, GPU_CLUSTER, scale=tg.scale)
+    out["triangle"] = {"dmll": dmll_tg.total_seconds,
+                       "powergraph": pg_tg.sim_seconds}
+
+    # the NUMA-machine comparison the paper closes §6.2 with
+    numa_pr = Simulator(pr.compiled("opt"), NUMA_BOX, DMLL_CPP,
+                        ExecOptions(scale=pr.scale, data_scale=pr.data_scale,
+                                    )).price(pr.capture("opt"))
+    out["pagerank"]["dmll_numa_box"] = numa_pr.total_seconds
+    return out
+
+
+def test_fig8d_graph_cluster(benchmark):
+    data = once(benchmark, compute_fig8d)
+    rows = []
+    speedups = {}
+    for app in ("pagerank", "triangle"):
+        s = data[app]["powergraph"] / data[app]["dmll"]
+        speedups[app] = s
+        rows.append([app, f"{data[app]['dmll']:.3f}s",
+                     f"{data[app]['powergraph']:.3f}s", f"{s:.2f}x"])
+    emit("fig8d_graphs", render_table(
+        ["App", "DMLL", "PowerGraph", "DMLL speedup"], rows,
+        title="Figure 8d: graph apps on the 4-node cluster vs PowerGraph"))
+
+    # comparable overall performance (§6.2: "the computation portion runs
+    # faster in DMLL ... largely overshadowed by the communication")
+    for app, s in speedups.items():
+        assert 0.5 < s < 4.0, (app, s)
+
+    # the big-memory NUMA machine beats the cluster for PageRank (§6.2)
+    assert data["pagerank"]["dmll_numa_box"] < data["pagerank"]["dmll"]

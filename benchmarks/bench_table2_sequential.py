@@ -1,0 +1,79 @@
+"""Table 2: sequential DMLL vs hand-optimized C++ for the seven benchmark
+applications, with the compiler optimizations each one receives.
+
+Paper shape: DMLL within ~25% of hand-optimized everywhere, and *faster*
+on Query 1 (the generated hash map beats std::unordered_map).
+"""
+
+from conftest import emit, once
+
+from repro.baselines import handopt as H
+from repro.bench import PAPER_SIZES, get_bundle
+from repro.report.tables import render_table
+from repro.runtime import DMLL_CPP, NUMA_BOX, ExecOptions, Simulator
+
+#: paper-reported deltas, for the side-by-side report
+PAPER_DELTAS = {
+    "q1": -41.0, "gene": 9.6, "gda": 23.0, "kmeans": 5.0,
+    "logreg": 9.3, "pagerank": 25.0, "triangle": -0.8,
+}
+
+HAND_COSTS = {
+    "q1": lambda b: H.tpch_q1(30_000_000),
+    "gene": lambda b: H.gene_barcoding(3_500_000),
+    "gda": lambda b: H.gda(500_000, 100),
+    "kmeans": lambda b: H.kmeans_iteration(500_000, 100, 6),
+    "logreg": lambda b: H.logreg_iteration(500_000, 100),
+    "pagerank": lambda b: H.pagerank_iteration(4_800_000, 34_500_000),
+    "triangle": lambda b: H.triangle_counting(4_800_000, 34_500_000, 28.8),
+}
+
+APPS = ["q1", "gene", "gda", "kmeans", "logreg", "pagerank", "triangle"]
+
+
+def dmll_sequential_seconds(name: str) -> float:
+    b = get_bundle(name)
+    cap = b.capture("opt")
+    sim = Simulator(b.compiled("opt"), NUMA_BOX, DMLL_CPP,
+                    ExecOptions(sequential=True, scale=b.scale,
+                                data_scale=b.data_scale)).price(cap)
+    return sim.total_seconds
+
+
+def compute_table2():
+    rows = []
+    deltas = {}
+    for name in APPS:
+        b = get_bundle(name)
+        t_dmll = dmll_sequential_seconds(name)
+        t_cpp = HAND_COSTS[name](b).seconds(NUMA_BOX)
+        delta = (t_dmll - t_cpp) / t_cpp * 100.0
+        deltas[name] = delta
+        opts = sorted(set(b.compiled("opt").report.applied_rules))
+        rows.append([name, ", ".join(opts) or "fusion only",
+                     PAPER_SIZES[name],
+                     f"{t_dmll:.3f}s", f"{t_cpp:.3f}s",
+                     f"{delta:+.1f}%", f"{PAPER_DELTAS[name]:+.1f}%"])
+    return rows, deltas
+
+
+def test_table2_sequential_baseline(benchmark):
+    rows, deltas = once(benchmark, compute_table2)
+    text = render_table(
+        ["Benchmark", "Optimizations", "Data Set (modeled)",
+         "DMLL", "C++", "delta", "paper delta"],
+        rows, title="Table 2: sequential performance vs hand-optimized C++")
+    emit("table2_sequential", text)
+
+    # shape: within ~35% of hand-optimized for every application...
+    for name, d in deltas.items():
+        assert abs(d) <= 35.0, f"{name} delta {d:+.1f}% out of band"
+    # ...and DMLL wins on Query 1 (generated hash map beats std::)
+    assert deltas["q1"] < 0
+    # the headline optimizations are actually applied
+    q1_opts = get_bundle("q1").compiled("opt").report.applied_rules
+    assert "groupby-reduce" in q1_opts and "aos-to-soa" in q1_opts
+    km_opts = get_bundle("kmeans").compiled("opt").report.applied_rules
+    assert "conditional-reduce" in km_opts
+    lr_opts = get_bundle("logreg").compiled("opt").report.applied_rules
+    assert "column-to-row-reduce" in lr_opts

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper: it prints the
+same rows/series the paper reports, writes them under
+``benchmarks/results/``, and asserts the qualitative *shape* (who wins, by
+roughly what factor, where crossovers fall). Absolute numbers are
+simulated times on the machine models — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+def once(benchmark, fn):
+    """Run a harness function exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,54 @@
+"""Gibbs sampling on a factor graph — the §6.3 case study.
+
+The DMLL program exploits *nested parallelism*: the outer pattern maps
+over per-socket model replicas, the inner pattern over the variables of a
+replica (DimmWitted's strategy). This example estimates marginals of an
+Ising grid and compares throughput with the mini-DimmWitted engine.
+
+Run:  python examples/gibbs_sampling.py
+"""
+
+from repro.apps.gibbs import gibbs_sample, gibbs_sweep_program
+from repro.baselines import DimmWittedEngine
+from repro.data.factor_graphs import grid_ising
+from repro.pipeline import compile_program
+from repro.runtime import DMLL_CPP, NUMA_BOX, ExecOptions, capture_run, Simulator
+
+
+def main():
+    fg = grid_ising(12, weight_scale=0.8)
+    print(f"factor graph: {fg.n_vars} variables, {fg.n_factors} factors")
+
+    print("\n=== marginals from the DMLL sampler (4 replicas, 12 sweeps)")
+    marg = gibbs_sample(fg, sweeps=12, replicas=4)
+    strong = [v for v, p in enumerate(marg) if p > 0.9 or p < 0.1]
+    print(f"  {len(strong)}/{fg.n_vars} variables have near-deterministic "
+          f"marginals under the sampled couplings")
+
+    print("\n=== throughput vs DimmWitted (simulated, per sweep)")
+    compiled = compile_program(gibbs_sweep_program(), "distributed")
+    from repro.data.factor_graphs import random_states, random_uniforms
+    states = random_states(fg.n_vars, 4, seed=7)
+    rand = random_uniforms(fg.n_vars, 4, seed=8)
+    inputs = {"nbr_vars": fg.nbr_vars, "nbr_weights": fg.nbr_weights,
+              "states": states, "rand": rand}
+    cap = capture_run(compiled, inputs)
+    samples = 4 * fg.n_vars
+    for cores in (12, 48):
+        t_dmll = Simulator(compiled, NUMA_BOX, DMLL_CPP,
+                           ExecOptions(cores=cores, scale=10_000.0,
+                                       data_scale=10_000.0)
+                           ).price(cap).total_seconds
+        dw = DimmWittedEngine(fg, NUMA_BOX, cores=cores, scale=10_000.0)
+        dw.run(sweeps=1, replicas=max(1, cores // 12))
+        t_dw = dw.stats.sim_seconds
+        print(f"  {cores:2d} cores: DMLL "
+              f"{samples * 10_000 / t_dmll / 1e6:8.1f} Msamples/s   "
+              f"DimmWitted {dw.stats.variable_samples * 10_000 / t_dw / 1e6:8.1f} "
+              f"Msamples/s")
+    print("\nDMLL's unwrapped primitive arrays beat the pointer-linked "
+          "factor graph (§6.3)")
+
+
+if __name__ == "__main__":
+    main()

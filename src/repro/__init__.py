@@ -1,0 +1,16 @@
+"""repro — a reproduction of DMLL, the Distributed Multiloop Language
+(Brown et al., "Have Abstraction and Eat Performance, Too", CGO 2016).
+
+Public entry points:
+
+- ``repro.frontend`` — the implicitly-parallel collections DSL;
+- ``repro.pipeline`` — the compiler driver (fusion, nested pattern
+  transformations, partitioning/stencil analyses);
+- ``repro.runtime`` — simulated heterogeneous hardware and the
+  hierarchical executor;
+- ``repro.apps`` — the paper's benchmark applications;
+- ``repro.baselines`` — Spark/PowerGraph/Delite/DimmWitted-style
+  comparison systems.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,209 @@
+"""Partitioning analysis — Algorithm 1 of the paper (§4.1) plus the
+stencil-triggered rewriting of §4.2.
+
+A forward dataflow over the top-level statements decides, for every
+collection, whether it is ``LOCAL`` (one memory region) or ``PARTITIONED``
+(spread across regions), starting from user annotations on data sources
+and following "move the computation to the data". When a parallel pattern
+reads partitioned data through an ``Unknown`` stencil, the Fig. 3 rules
+are tried one at a time; if any rewrite removes the Unknown access, the
+pattern is replaced, otherwise the analysis falls back to runtime data
+movement and records a warning.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core import types as T
+from ..core.ir import Block, Def, Program, Sym, def_index, op_used_syms
+from ..core.multiloop import GenKind, MultiLoop
+from ..core.ops import ArrayLength, BucketKeys, InputSource
+from ..transforms import DISTRIBUTION_RULES, Rule
+from .stencil import LoopStencils, Stencil, analyze_loop
+
+
+class DataLayout(enum.Enum):
+    LOCAL = "Local"
+    PARTITIONED = "Partitioned"
+
+
+#: non-parallel ops that may safely consume partitioned collections
+#: (§4.3: e.g. reading a size field never dereferences the data)
+_WHITELIST = (ArrayLength, BucketKeys, InputSource)
+
+
+@dataclass
+class LoopDistInfo:
+    """How one top-level loop executes on distributed hardware."""
+
+    loop_sym: Sym
+    distributed: bool
+    driving: Optional[Sym]              # Interval-aligned partitioned input
+    stencils: Dict[Sym, Stencil]
+    broadcasts: List[Sym] = field(default_factory=list)   # replicate fully
+    remote_random: List[Sym] = field(default_factory=list)  # dynamic fetches
+    co_partitioned: List[Sym] = field(default_factory=list)
+
+
+@dataclass
+class PartitionReport:
+    layouts: Dict[Sym, DataLayout] = field(default_factory=dict)
+    loops: Dict[int, LoopDistInfo] = field(default_factory=dict)
+    warnings: List[str] = field(default_factory=list)
+    applied_rules: List[str] = field(default_factory=list)
+
+    def layout(self, s: Sym) -> DataLayout:
+        return self.layouts.get(s, DataLayout.LOCAL)
+
+    def partitioned_syms(self) -> List[Sym]:
+        return [s for s, l in self.layouts.items() if l is DataLayout.PARTITIONED]
+
+
+def _const_index_read(d: Def) -> bool:
+    """``coll(const)`` at top level — the runtime broadcasts the single
+    element, like a Const stencil inside a loop (§4.2)."""
+    from ..core.ir import Const
+    from ..core.ops import ArrayApply
+    return isinstance(d.op, ArrayApply) and isinstance(d.op.idx, Const)
+
+
+def _collection_inputs(d: Def) -> List[Sym]:
+    seen: List[Sym] = []
+    for s in op_used_syms(d.op):
+        if T.is_collection(s.tpe) and s not in seen:
+            seen.append(s)
+    return seen
+
+
+def partition_and_transform(
+        prog: Program,
+        rules: Sequence[Rule] = DISTRIBUTION_RULES,
+        max_rewrites: int = 20) -> Tuple[Program, PartitionReport]:
+    """Run Algorithm 1, rewriting Unknown-stencil patterns along the way."""
+    report = PartitionReport()
+    body = prog.body
+
+    # user annotations on data sources
+    for d in body.stmts:
+        if isinstance(d.op, InputSource):
+            report.layouts[d.syms[0]] = (DataLayout.PARTITIONED
+                                         if d.op.partitioned else DataLayout.LOCAL)
+
+    pos = 0
+    rewrites = 0
+    while pos < len(body.stmts):
+        d = body.stmts[pos]
+        if not isinstance(d.op, MultiLoop):
+            _visit_sequential(d, report)
+            pos += 1
+            continue
+
+        part_inputs = [s for s in _collection_inputs(d)
+                       if report.layout(s) is DataLayout.PARTITIONED]
+        if not part_inputs:
+            for s in d.syms:
+                report.layouts[s] = DataLayout.LOCAL
+            pos += 1
+            continue
+
+        scope_idx = def_index(body)
+        ls = analyze_loop(d, scope_idx)
+        if not _loop_access_ok(ls, part_inputs) and rewrites < max_rewrites:
+            new_body = _try_rules(body, pos, rules, report)
+            if new_body is not None:
+                body = new_body
+                rewrites += 1
+                continue  # re-analyze from the same position
+            bad = [s for s in part_inputs
+                   if ls.reads.get(s, Stencil.ALL) in (Stencil.UNKNOWN,
+                                                       Stencil.ALL)]
+            report.warnings.append(
+                f"loop {d.syms[0]!r}: partitioned {', '.join(map(repr, bad))} "
+                f"accessed with stencil "
+                f"{[ls.reads.get(s, Stencil.ALL).value for s in bad]}; "
+                f"falling back to runtime data movement / replication")
+
+        _record_loop(d, ls, part_inputs, report)
+        pos += 1
+
+    return Program(prog.inputs, body), report
+
+
+def _loop_access_ok(ls: LoopStencils, part_inputs: Sequence[Sym]) -> bool:
+    """A loop's access pattern is distribution-friendly when no partitioned
+    input is touched data-dependently (Unknown) and the loop either ranges
+    over a partitioned input (Interval driver) or broadcasts nothing big
+    (no partitioned All)."""
+    stencils = [ls.reads.get(s, Stencil.ALL) for s in part_inputs]
+    if Stencil.UNKNOWN in stencils:
+        return False
+    if Stencil.INTERVAL in stencils:
+        return True
+    return Stencil.ALL not in stencils
+
+
+def _try_rules(body: Block, pos: int, rules: Sequence[Rule],
+               report: PartitionReport) -> Optional[Block]:
+    """§4.2: try a single rule at a time; accept the first rewrite whose
+    new statements all have distribution-friendly access patterns."""
+    from ..transforms.common import replace_stmt
+    for rule in rules:
+        replacement = rule.apply_to(body, pos)
+        if replacement is None:
+            continue
+        candidate = replace_stmt(body, pos, replacement)
+        idx = def_index(candidate)
+        improved = True
+        for nd in replacement:
+            if isinstance(nd.op, MultiLoop):
+                nls = analyze_loop(nd, idx)
+                part = [s for s in nls.reads
+                        if report.layout(s) is DataLayout.PARTITIONED]
+                if not _loop_access_ok(nls, part):
+                    improved = False
+                    break
+        if not improved:
+            continue
+        report.applied_rules.append(rule.name)
+        return candidate
+    return None
+
+
+def _record_loop(d: Def, ls: LoopStencils, part_inputs: List[Sym],
+                 report: PartitionReport) -> None:
+    stencils = {s: ls.reads.get(s, Stencil.ALL) for s in part_inputs}
+    interval = [s for s in part_inputs if stencils[s] is Stencil.INTERVAL]
+    unknown = [s for s in part_inputs if stencils[s] is Stencil.UNKNOWN]
+    broadcast = [s for s in part_inputs
+                 if stencils[s] in (Stencil.ALL, Stencil.CONST)]
+    distributed = bool(interval) or bool(unknown)
+    driving = interval[0] if interval else (unknown[0] if unknown else None)
+    info = LoopDistInfo(
+        loop_sym=d.syms[0], distributed=distributed, driving=driving,
+        stencils=stencils, broadcasts=broadcast, remote_random=unknown,
+        co_partitioned=interval if len(interval) > 1 else [])
+    report.loops[d.syms[0].id] = info
+
+    for s, g in zip(d.syms, d.op.gens):
+        if distributed and g.kind in (GenKind.COLLECT, GenKind.BUCKET_COLLECT):
+            report.layouts[s] = DataLayout.PARTITIONED
+        else:
+            report.layouts[s] = DataLayout.LOCAL
+
+
+def _visit_sequential(d: Def, report: PartitionReport) -> None:
+    if isinstance(d.op, InputSource):
+        return  # layout comes from the user's annotation
+    part = [s for s in _collection_inputs(d)
+            if report.layout(s) is DataLayout.PARTITIONED]
+    if _const_index_read(d):
+        part = []  # a Const-stencil element read: broadcast one element
+    if part and not isinstance(d.op, _WHITELIST):
+        report.warnings.append(
+            f"sequential op {d.op.op_name()} consumes partitioned "
+            f"{', '.join(map(repr, part))}; it must run at a single location")
+    for s in d.syms:
+        report.layouts[s] = DataLayout.LOCAL

@@ -1,0 +1,24 @@
+"""The paper's benchmark applications, written against the DMLL frontend."""
+
+from .gda import gda_inputs, gda_oracle, gda_program
+from .gene import READ, gene_inputs, gene_oracle, gene_program
+from .gibbs import gibbs_inputs, gibbs_oracle_sweep, gibbs_sample, gibbs_sweep_program
+from .kmeans import (kmeans, kmeans_grouped_program, kmeans_inputs,
+                     kmeans_oracle, kmeans_shared_program)
+from .knn import knn_inputs, knn_oracle, knn_program
+from .logreg import logreg, logreg_inputs, logreg_oracle, logreg_program
+from .naive_bayes import nb_inputs, nb_oracle, nb_program
+from .tpch import LINEITEM, q1_inputs, q1_oracle, q1_program
+
+__all__ = [
+    "gda_inputs", "gda_oracle", "gda_program",
+    "READ", "gene_inputs", "gene_oracle", "gene_program",
+    "gibbs_inputs", "gibbs_oracle_sweep", "gibbs_sample",
+    "gibbs_sweep_program",
+    "kmeans", "kmeans_grouped_program", "kmeans_inputs", "kmeans_oracle",
+    "kmeans_shared_program",
+    "knn_inputs", "knn_oracle", "knn_program",
+    "logreg", "logreg_inputs", "logreg_oracle", "logreg_program",
+    "nb_inputs", "nb_oracle", "nb_program",
+    "LINEITEM", "q1_inputs", "q1_oracle", "q1_program",
+]

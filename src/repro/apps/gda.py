@@ -1,0 +1,75 @@
+"""Gaussian Discriminant Analysis — a two-pass ML benchmark (Table 2).
+
+Pass 1 accumulates class counts and per-class feature sums (a conditional
+reduction over the dataset, lowered by the Conditional Reduce rule); pass
+2 accumulates the shared covariance as a sum of flattened outer products
+(a large vector reduction — the "horizontal fusion + CSE" entry of
+Table 2, and a Row-to-Column Reduce candidate on GPUs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .. import frontend as F
+from ..core import types as T
+from ..core.ir import Program
+from ..core.interp import run_program
+
+
+def gda_inputs():
+    return [F.matrix_input("x", partitioned=True),
+            F.InputSpec("y", T.Coll(T.INT), True)]
+
+
+def gda_program() -> Program:
+    """Returns (phi, mu (2 rows), sigma flattened row-major)."""
+
+    def prog(x: F.ArrayRep, y: F.ArrayRep):
+        m = x.length()
+        n = x[0].length()
+        md = m.to_double()
+
+        # class prior: fraction of label-1 samples
+        ones = y.map_reduce(lambda v: v, lambda a, b: a + b)
+        phi = ones.to_double() / md
+
+        # per-class means: conditionally reduce rows by label
+        def class_mean(c):
+            idxs = y.filter_indices(lambda v: v == c)
+            total = idxs.map(lambda i: x[i]).sum_rows()
+            cnt = idxs.count()
+            return total.map(lambda s: s / cnt)
+
+        mu = F.irange(2).map(class_mean)
+
+        # shared covariance: sum over samples of (x_i - mu_{y_i}) outer
+        # (x_i - mu_{y_i}), as an n x n nested collection
+        def outer(i):
+            d = x[i].zip_with(mu[y[i]], lambda a, b: a - b)
+            return F.irange(n).map(lambda j1: d.map(lambda v: d[j1] * v))
+
+        sigma_m = x.map_indices(outer).sum_rows()
+        sigma = sigma_m.map(lambda row: row.map(lambda s: s / md))
+        return phi, mu, sigma
+
+    return F.build(prog, gda_inputs())
+
+
+def gda_oracle(x: Sequence[Sequence[float]], y: Sequence[int]
+               ) -> Tuple[float, List[List[float]], List[List[float]]]:
+    m, n = len(x), len(x[0])
+    ones = sum(y)
+    phi = ones / m
+    mu = []
+    for c in (0, 1):
+        rows = [x[i] for i in range(m) if y[i] == c]
+        cnt = len(rows)
+        mu.append([sum(col) / cnt for col in zip(*rows)] if cnt else [])
+    sigma = [[0.0] * n for _ in range(n)]
+    for i in range(m):
+        d = [x[i][j] - mu[y[i]][j] for j in range(n)]
+        for j1 in range(n):
+            for j2 in range(n):
+                sigma[j1][j2] += d[j1] * d[j2]
+    return phi, mu, [[s / m for s in row] for row in sigma]

@@ -1,0 +1,71 @@
+"""k-nearest-neighbors classification (radius-weighted vote variant).
+
+§3.2 cites kNN as another GroupBy-Reduce instance: "uses grouping to count
+the fraction of k data samples per data label and select the label with
+the largest count". We implement the radius/weighted-vote formulation
+(votes weighted by inverse distance within a radius), which keeps the
+exact grouping structure while staying a pure data-parallel pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .. import frontend as F
+from ..core import types as T
+from ..core.ir import Program
+
+
+def knn_inputs():
+    return [F.matrix_input("train", partitioned=True),
+            F.InputSpec("labels", T.Coll(T.INT), True),
+            F.vector_input("query", partitioned=False),
+            F.scalar_input("radius", T.DOUBLE)]
+
+
+def knn_program() -> Program:
+    """Predicted label: argmax over labels of summed inverse-distance votes
+    among training points within ``radius`` of the query."""
+
+    def prog(train: F.ArrayRep, labels: F.ArrayRep, query: F.ArrayRep,
+             radius):
+        def dist2(i):
+            return train[i].zip_with(
+                query, lambda a, b: (a - b) * (a - b)).sum()
+
+        near = train.map_indices(dist2).filter_indices(
+            lambda d: d < radius * radius)
+        votes = near.group_by_reduce(
+            lambda i: labels[i],
+            lambda i: 1.0 / (1.0 + F.fsqrt(dist2(i))),
+            lambda a, b: a + b)
+        best = votes.keys().zip_with(
+            votes.keys().map_indices(lambda p: votes.at(p)),
+            lambda k, v: F.pair(-v, k))
+        # argmax vote = min over (-vote, key) pairs
+        n = best.length()
+        winner = F.irange(n).map_reduce(
+            lambda p: best[p],
+            lambda a, b: F.where(b.fst < a.fst, b, a))
+        assert isinstance(winner, F.StructRep)
+        return winner.snd
+
+    return F.build(prog, knn_inputs())
+
+
+def knn_oracle(train: Sequence[Sequence[float]], labels: Sequence[int],
+               query: Sequence[float], radius: float) -> int:
+    votes = {}
+    order: List[int] = []
+    for row, lab in zip(train, labels):
+        d2 = sum((a - b) ** 2 for a, b in zip(row, query))
+        if d2 < radius * radius:
+            if lab not in votes:
+                order.append(lab)
+            votes[lab] = votes.get(lab, 0.0) + 1.0 / (1.0 + math.sqrt(d2))
+    best_lab, best_v = None, None
+    for lab in order:
+        if best_v is None or votes[lab] > best_v:
+            best_lab, best_v = lab, votes[lab]
+    return best_lab

@@ -1,0 +1,52 @@
+"""Gaussian naive Bayes training — a §3.2 Row-to-Column Reduce citation
+("Examples in machine learning include ridge regression and Naïve Bayes"):
+the per-class feature sums reduce the columns of the data matrix.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .. import frontend as F
+from ..core import types as T
+from ..core.ir import Program
+
+
+def nb_inputs():
+    return [F.matrix_input("x", partitioned=True),
+            F.InputSpec("y", T.Coll(T.INT), True),
+            F.scalar_input("num_classes", T.INT)]
+
+
+def nb_program() -> Program:
+    """Per-class priors and per-class feature means."""
+
+    def prog(x: F.ArrayRep, y: F.ArrayRep, num_classes):
+        m = x.length().to_double()
+
+        def for_class(c):
+            idxs = y.filter_indices(lambda v: v == c)
+            cnt = idxs.count()
+            sums = idxs.map(lambda i: x[i]).sum_rows()
+            mean = sums.map(lambda s: s / cnt)
+            prior = cnt.to_double() / m
+            return F.pair(prior, mean)
+
+        stats = F.irange(num_classes).map(for_class)
+        priors = stats.map(lambda p: p.fst)
+        means = stats.map(lambda p: p.snd)
+        return priors, means
+
+    return F.build(prog, nb_inputs())
+
+
+def nb_oracle(x: Sequence[Sequence[float]], y: Sequence[int],
+              num_classes: int) -> Tuple[List[float], List[List[float]]]:
+    m = len(x)
+    priors, means = [], []
+    for c in range(num_classes):
+        rows = [x[i] for i in range(m) if y[i] == c]
+        cnt = len(rows)
+        priors.append(cnt / m)
+        means.append([sum(col) / cnt for col in zip(*rows)] if cnt else [])
+    return priors, means

@@ -1,0 +1,105 @@
+"""TPC-H Query 1 ("pricing summary report") on a lineitem table.
+
+The classic groupBy-aggregate query from the evaluation (Table 2). The
+table is staged as a collection of record structs; the compiler's AoS→SoA
+pass splits it into primitive columns, dead field elimination drops the
+unread ones, and GroupBy-Reduce + horizontal fusion collapse the whole
+query into a single traversal — the optimizations Table 2 lists for Q1.
+
+Schema (the Q1-relevant subset of TPC-H lineitem):
+    quantity, extendedprice, discount, tax : Double
+    returnflag, linestatus                 : Int (coded chars)
+    shipdate                               : Int (days since epoch)
+    comment, orderkey, suppkey             : unread by Q1 (exercise DFE)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .. import frontend as F
+from ..core import types as T
+from ..core.ir import Program
+from ..optim.soa import register_table_schema
+
+LINEITEM = T.Struct("LineItem", (
+    ("orderkey", T.INT),
+    ("quantity", T.DOUBLE),
+    ("extendedprice", T.DOUBLE),
+    ("discount", T.DOUBLE),
+    ("tax", T.DOUBLE),
+    ("returnflag", T.INT),
+    ("linestatus", T.INT),
+    ("shipdate", T.INT),
+    ("suppkey", T.INT),
+))
+
+register_table_schema("lineitems", LINEITEM)
+
+#: Q1's date predicate: shipdate <= 1998-12-01 minus 90 days, as day number
+SHIP_CUTOFF = 10000
+
+
+def q1_inputs():
+    return [F.table_input("lineitems", LINEITEM, partitioned=True)]
+
+
+def q1_program() -> Program:
+    """SELECT returnflag, linestatus, sum(qty), sum(base), sum(disc_price),
+    sum(charge), avg(qty), avg(price), avg(disc), count(*)
+    FROM lineitem WHERE shipdate <= cutoff GROUP BY returnflag, linestatus."""
+
+    def prog(lineitems: F.ArrayRep):
+        valid = lineitems.filter(lambda it: it.shipdate <= SHIP_CUTOFF)
+        groups = valid.group_by(
+            lambda it: it.returnflag * 256 + it.linestatus)
+
+        def agg(g: F.ArrayRep):
+            sum_qty = g.map(lambda it: it.quantity).sum()
+            sum_base = g.map(lambda it: it.extendedprice).sum()
+            sum_disc_price = g.map(
+                lambda it: it.extendedprice * (1.0 - it.discount)).sum()
+            sum_charge = g.map(
+                lambda it: it.extendedprice * (1.0 - it.discount)
+                * (1.0 + it.tax)).sum()
+            sum_disc = g.map(lambda it: it.discount).sum()
+            n = g.count()
+            nd = n.to_double()
+            row_t = T.Struct("Q1Row", (
+                ("sum_qty", T.DOUBLE), ("sum_base", T.DOUBLE),
+                ("sum_disc_price", T.DOUBLE), ("sum_charge", T.DOUBLE),
+                ("avg_qty", T.DOUBLE), ("avg_price", T.DOUBLE),
+                ("avg_disc", T.DOUBLE), ("count", T.INT)))
+            return F.struct(row_t, sum_qty=sum_qty, sum_base=sum_base,
+                            sum_disc_price=sum_disc_price,
+                            sum_charge=sum_charge,
+                            avg_qty=sum_qty / nd, avg_price=sum_base / nd,
+                            avg_disc=sum_disc / nd, count=n)
+
+        return groups.map(agg)
+
+    return F.build(prog, q1_inputs())
+
+
+def q1_oracle(rows: Sequence[Tuple]) -> Dict[int, Tuple]:
+    """Plain-Python oracle keyed by (returnflag*256 + linestatus)."""
+    fields = LINEITEM.field_names()
+    fi = {n: i for i, n in enumerate(fields)}
+    acc: Dict[int, List[float]] = {}
+    for r in rows:
+        if r[fi["shipdate"]] > SHIP_CUTOFF:
+            continue
+        key = r[fi["returnflag"]] * 256 + r[fi["linestatus"]]
+        a = acc.setdefault(key, [0.0, 0.0, 0.0, 0.0, 0.0, 0])
+        qty, price, disc, tax = (r[fi["quantity"]], r[fi["extendedprice"]],
+                                 r[fi["discount"]], r[fi["tax"]])
+        a[0] += qty
+        a[1] += price
+        a[2] += price * (1.0 - disc)
+        a[3] += price * (1.0 - disc) * (1.0 + tax)
+        a[4] += disc
+        a[5] += 1
+    out = {}
+    for key, (sq, sb, sdp, sc, sd, n) in acc.items():
+        out[key] = (sq, sb, sdp, sc, sq / n, sb / n, sd / n, n)
+    return out

@@ -1,0 +1,17 @@
+"""Comparison systems: mini-Spark, mini-PowerGraph, Delite mode,
+DimmWitted-style Gibbs, and hand-optimized C++ cost models."""
+
+from .delite import delite_run
+from .dimmwitted import DimmWittedEngine, GibbsStats
+from .handopt import HandCost
+from .powergraph import (GasStats, PageRankProgram, PowerGraphEngine,
+                         TriangleCountProgram, powergraph_pagerank,
+                         powergraph_triangles, replication_factor)
+from .spark import RDD, JobStats, SparkContext
+
+__all__ = [
+    "delite_run", "DimmWittedEngine", "GibbsStats", "HandCost",
+    "GasStats", "PageRankProgram", "PowerGraphEngine",
+    "TriangleCountProgram", "powergraph_pagerank", "powergraph_triangles",
+    "replication_factor", "RDD", "JobStats", "SparkContext",
+]

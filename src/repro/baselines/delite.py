@@ -1,0 +1,22 @@
+"""Delite baseline: DMLL's parent framework, "without DMLL improvements"
+(§6.1) — the same generated-code quality but no NUMA-aware partitioning,
+no thread pinning, and no distribution ("it does not scale to multiple
+machines", §6.2). Runs the same compiled programs through the simulator
+under the DELITE profile, restricted to one machine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..pipeline import CompiledProgram
+from ..runtime.executor import ExecOptions, SimResult, simulate
+from ..runtime.machine import DELITE, ClusterSpec, single_node
+
+
+def delite_run(compiled: CompiledProgram, inputs: Dict[str, Any],
+               cluster: ClusterSpec, cores: Optional[int] = None,
+               scale: float = 1.0) -> SimResult:
+    """Execute on a single machine of ``cluster`` with the DELITE profile."""
+    return simulate(compiled, inputs, single_node(cluster), DELITE,
+                    ExecOptions(cores=cores, scale=scale))

@@ -1,0 +1,123 @@
+"""The benchmark applications ported to the mini-Spark programming model,
+"performed all possible optimizations manually" (§6.1): map-side combine,
+cached RDDs for iterative jobs, primitive-encoded records where the model
+allows. Per-element algorithmic cost hints mirror each closure's flop
+count so Spark is charged the same work as DMLL, plus its overheads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .spark import RDD, SparkContext
+
+
+def spark_kmeans_iteration(sc: SparkContext,
+                           points: RDD,
+                           clusters: List[List[float]]) -> List[List[float]]:
+    """One iteration in the canonical Spark style: map each point to
+    (nearest cluster, (vector, 1)), reduceByKey with vector sums."""
+    k = len(clusters)
+    d = len(clusters[0])
+
+    def nearest(p):
+        best, best_d = 0, float("inf")
+        for ci, c in enumerate(clusters):
+            dd = sum((a - b) * (a - b) for a, b in zip(p, c))
+            if dd < best_d:
+                best, best_d = ci, dd
+        return best
+
+    assign_cost = 3.0 * k * d
+    pairs = points.map(lambda p: (nearest(p), (p, 1)), cost=assign_cost)
+    sums = pairs.reduce_by_key(
+        lambda a, b: ([x + y for x, y in zip(a[0], b[0])], a[1] + b[1]),
+        cost=2.0 * d)
+    out = dict(sums.collect())
+    new = []
+    for ci in range(k):
+        if ci in out:
+            vec, cnt = out[ci]
+            new.append([v / cnt for v in vec])
+        else:
+            new.append(list(clusters[ci]))
+    return new
+
+
+def spark_logreg_iteration(sc: SparkContext, data: RDD,
+                           theta: List[float],
+                           alpha: float) -> List[float]:
+    """data: RDD of (x_row, y). Gradient = sum of per-sample vectors."""
+    import math
+    d = len(theta)
+
+    def grad(sample):
+        x, y = sample
+        dot = sum(t * v for t, v in zip(theta, x))
+        h = 1.0 / (1.0 + math.exp(-dot)) if dot > -700 else 0.0
+        scale = y - h
+        return [scale * v for v in x]
+
+    g = data.map(grad, cost=4.0 * d + 25.0).reduce(
+        lambda a, b: [x + y for x, y in zip(a, b)], cost=1.0 * d)
+    return [t + alpha * gi for t, gi in zip(theta, g)]
+
+
+def spark_q1(sc: SparkContext, rows: RDD,
+             cutoff: int = 10000) -> Dict[int, Tuple]:
+    """TPC-H Q1, rows are full lineitem tuples (no SoA possible in this
+    model, §6.1: the input collection 'cannot simply be split into an RDD
+    per field')."""
+    def agg_pair(r):
+        (_, qty, price, disc, tax, rf, ls, _, _) = r
+        key = rf * 256 + ls
+        disc_price = price * (1.0 - disc)
+        return (key, (qty, price, disc_price,
+                      disc_price * (1.0 + tax), disc, 1))
+
+    pairs = rows.filter(lambda r: r[7] <= cutoff, cost=2.0) \
+                .map(agg_pair, cost=8.0)
+    sums = pairs.reduce_by_key(
+        lambda a, b: tuple(x + y for x, y in zip(a, b)), cost=6.0)
+    out = {}
+    for key, (sq, sb, sdp, sc_, sd, n) in sums.collect():
+        out[key] = (sq, sb, sdp, sc_, sq / n, sb / n, sd / n, n)
+    return out
+
+
+def spark_gene(sc: SparkContext, reads: RDD,
+               quality_min: float = 0.3) -> Dict[int, Tuple[int, float, int]]:
+    """Per-barcode (count, quality sum, gene checksum)."""
+    pairs = reads.filter(lambda r: r[2] > quality_min, cost=2.0) \
+                 .map(lambda r: (r[0], (1, r[2], r[1])), cost=3.0)
+    sums = pairs.reduce_by_key(
+        lambda a, b: (a[0] + b[0], a[1] + b[1], a[2] + b[2]), cost=3.0)
+    return dict(sums.collect())
+
+
+def spark_gda(sc: SparkContext, data: RDD, n_cols: int):
+    """Two passes: class sums/counts, then the covariance accumulation."""
+    d = n_cols
+
+    def key_row(sample):
+        x, y = sample
+        return (y, (x, 1))
+
+    sums = dict(data.map(key_row, cost=2.0).reduce_by_key(
+        lambda a, b: ([p + q for p, q in zip(a[0], b[0])], a[1] + b[1]),
+        cost=1.0 * d).collect())
+    m = sum(c for _, c in sums.values())
+    mu = {c: [v / cnt for v in vec] for c, (vec, cnt) in sums.items()}
+    phi = sums.get(1, ([0.0] * d, 0))[1] / m
+
+    def outer(sample):
+        x, y = sample
+        mc = mu[y]
+        diff = [a - b for a, b in zip(x, mc)]
+        return [[di * dj for dj in diff] for di in diff]
+
+    sigma = data.map(outer, cost=2.0 * d * d).reduce(
+        lambda a, b: [[p + q for p, q in zip(ra, rb)]
+                      for ra, rb in zip(a, b)], cost=1.0 * d * d)
+    return (phi, [mu.get(c, [0.0] * d) for c in (0, 1)],
+            [[s / m for s in row] for row in sigma])

@@ -1,0 +1,9 @@
+"""Heterogeneous code generators (C++ / CUDA / Scala), mirroring the
+Delite backends DMLL reuses (§5)."""
+
+from .cpp import CppEmitter, generate_cpp
+from .cuda import CudaEmitter, generate_cuda
+from .scala import ScalaEmitter, generate_scala
+
+__all__ = ["CppEmitter", "generate_cpp", "CudaEmitter", "generate_cuda",
+           "ScalaEmitter", "generate_scala"]

@@ -1,0 +1,14 @@
+"""DMLL core: IR, type system, multiloops, staging, and the reference
+interpreter."""
+
+from . import types
+from .interp import ExecStats, Interp, LoopObserver, run_program
+from .ir import Block, Const, Def, Exp, Program, Sym, fresh
+from .multiloop import GenKind, Generator, MultiLoop
+from .pretty import pretty, pretty_block
+
+__all__ = [
+    "types", "ExecStats", "Interp", "LoopObserver", "run_program",
+    "Block", "Const", "Def", "Exp", "Program", "Sym", "fresh",
+    "GenKind", "Generator", "MultiLoop", "pretty", "pretty_block",
+]

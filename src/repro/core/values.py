@@ -1,0 +1,104 @@
+"""Runtime value representations used by the interpreter and runtime.
+
+- flat collections: Python lists (or any object with ``__getitem__`` /
+  ``__len__``, which lets the runtime substitute traced/partitioned arrays);
+- structs: Python tuples in field order (hashable, so they work as keys);
+- bucket results: ``Buckets`` — dense values in first-seen key order plus a
+  key directory, matching the ``KeyedColl`` type.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Buckets:
+    """Result of ``BucketCollect`` / ``BucketReduce``.
+
+    Supports dense positional access (``b[pos]``), key lookup
+    (``b.lookup(key)``), and exposes ``b.keys`` in dense order.
+    """
+
+    __slots__ = ("keys", "values", "_index", "default")
+
+    def __init__(self, default: Any = None):
+        self.keys: List[Any] = []
+        self.values: List[Any] = []
+        self._index: Dict[Any, int] = {}
+        #: value returned by ``lookup`` for a key that received no elements
+        self.default = default
+
+    def position(self, key: Any) -> Optional[int]:
+        return self._index.get(key)
+
+    def get_or_create(self, key: Any, initial: Any) -> int:
+        pos = self._index.get(key)
+        if pos is None:
+            pos = len(self.keys)
+            self._index[key] = pos
+            self.keys.append(key)
+            self.values.append(initial)
+        return pos
+
+    def lookup(self, key: Any) -> Any:
+        pos = self._index.get(key)
+        if pos is None:
+            return self.default
+        return self.values[pos]
+
+    def __getitem__(self, pos: int) -> Any:
+        return self.values[pos]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def items(self):
+        return zip(self.keys, self.values)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Buckets):
+            return dict(self.items()) == dict(other.items())
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k!r}: {v!r}" for k, v in self.items())
+        return f"Buckets({{{inner}}})"
+
+
+def deep_eq(a: Any, b: Any, tol: float = 1e-9) -> bool:
+    """Structural equality with float tolerance — used heavily by tests to
+    compare DMLL results against oracle implementations."""
+    if isinstance(a, Buckets) or isinstance(b, Buckets):
+        if not (isinstance(a, Buckets) and isinstance(b, Buckets)):
+            return False
+        da, db = dict(a.items()), dict(b.items())
+        if set(da) != set(db):
+            return False
+        return all(deep_eq(da[k], db[k], tol) for k in da)
+    if isinstance(a, dict) and isinstance(b, dict):
+        if set(a) != set(b):
+            return False
+        return all(deep_eq(a[k], b[k], tol) for k in a)
+    if isinstance(a, float) or isinstance(b, float):
+        try:
+            fa, fb = float(a), float(b)
+        except (TypeError, ValueError):
+            return False
+        if fa == fb:
+            return True
+        return abs(fa - fb) <= tol * max(1.0, abs(fa), abs(fb))
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            return False
+        return all(deep_eq(x, y, tol) for x, y in zip(a, b))
+    if hasattr(a, "__len__") and hasattr(b, "__len__") and not isinstance(a, (str, bytes)):
+        try:
+            if len(a) != len(b):
+                return False
+            return all(deep_eq(a[i], b[i], tol) for i in range(len(a)))
+        except TypeError:
+            pass
+    return a == b

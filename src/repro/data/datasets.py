@@ -1,0 +1,60 @@
+"""Synthetic dense datasets for the ML benchmarks.
+
+Stand-ins for the paper's 500k x 100 matrices (835 MB): Gaussian cluster
+mixtures for k-means/GDA and separable logistic data for LogReg, at
+configurable scale. Scaling factors are recorded by the benchmark harness
+so simulated times refer to paper-sized inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+
+def gaussian_clusters(n_rows: int, n_cols: int, k: int = 4,
+                      spread: float = 0.6, seed: int = 7
+                      ) -> Tuple[List[List[float]], List[int]]:
+    """Rows drawn from k well-separated Gaussians; returns (matrix, labels)."""
+    rng = random.Random(seed)
+    centers = [[rng.uniform(-10.0, 10.0) for _ in range(n_cols)]
+               for _ in range(k)]
+    matrix: List[List[float]] = []
+    labels: List[int] = []
+    for i in range(n_rows):
+        c = i % k
+        matrix.append([centers[c][j] + rng.gauss(0.0, spread)
+                       for j in range(n_cols)])
+        labels.append(c)
+    return matrix, labels
+
+
+def logistic_data(n_rows: int, n_cols: int, seed: int = 11
+                  ) -> Tuple[List[List[float]], List[float]]:
+    """Linearly separable-ish binary data; returns (x, y)."""
+    rng = random.Random(seed)
+    true_w = [rng.uniform(-1.0, 1.0) for _ in range(n_cols)]
+    x: List[List[float]] = []
+    y: List[float] = []
+    for _ in range(n_rows):
+        row = [rng.gauss(0.0, 1.0) for _ in range(n_cols)]
+        score = sum(w * v for w, v in zip(true_w, row))
+        x.append(row)
+        y.append(1.0 if score + rng.gauss(0.0, 0.3) > 0 else 0.0)
+    return x, y
+
+
+def binary_labeled(n_rows: int, n_cols: int, seed: int = 13
+                   ) -> Tuple[List[List[float]], List[int]]:
+    """Two Gaussian classes for GDA / naive Bayes; returns (x, labels)."""
+    rng = random.Random(seed)
+    mu0 = [rng.uniform(-2.0, 0.0) for _ in range(n_cols)]
+    mu1 = [rng.uniform(0.0, 2.0) for _ in range(n_cols)]
+    x: List[List[float]] = []
+    labels: List[int] = []
+    for i in range(n_rows):
+        c = i % 2
+        mu = mu1 if c else mu0
+        x.append([m + rng.gauss(0.0, 1.0) for m in mu])
+        labels.append(c)
+    return x, labels

@@ -1,0 +1,20 @@
+"""Synthetic sequencing reads for the gene barcoding benchmark — the
+3.5M-gene dataset stand-in (689 MB). Row order matches
+``repro.apps.gene.READ``: (barcode, gene, quality, flowcell, position)."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+
+def generate_reads(n: int, n_barcodes: int = 2000, n_genes: int = 500,
+                   seed: int = 31) -> List[Tuple]:
+    rng = random.Random(seed)
+    rows: List[Tuple] = []
+    for i in range(n):
+        barcode = rng.randrange(n_barcodes)
+        gene = rng.randrange(n_genes)
+        quality = rng.random()
+        rows.append((barcode, gene, quality, rng.randrange(8), i))
+    return rows

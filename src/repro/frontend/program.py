@@ -1,0 +1,64 @@
+"""Whole-program staging for the DMLL frontend.
+
+A program is a Python function over staged inputs. Each input carries the
+user's partitioning annotation (§4.1: "we obtain this information by having
+the user annotate each data source").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core import types as T
+from ..core.ir import Program
+from ..core.ops import InputSource
+from ..core.staging import build_program, emit1
+from .reps import Rep, unwrap, wrap
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """Declares one program input (a data source, e.g. a file reader)."""
+
+    label: str
+    tpe: T.Type
+    partitioned: bool = False
+
+
+def matrix_input(label: str, partitioned: bool = False,
+                 elem: T.Type = T.DOUBLE) -> InputSpec:
+    """A matrix as a collection of rows — ``Matrix.fromFile`` in Fig. 1."""
+    return InputSpec(label, T.Coll(T.Coll(elem)), partitioned)
+
+
+def vector_input(label: str, partitioned: bool = False,
+                 elem: T.Type = T.DOUBLE) -> InputSpec:
+    return InputSpec(label, T.Coll(elem), partitioned)
+
+
+def table_input(label: str, row_type: T.Struct,
+                partitioned: bool = False) -> InputSpec:
+    """A table as a collection of record structs (AoS at the source; the
+    compiler's AoS→SoA pass takes it from there)."""
+    return InputSpec(label, T.Coll(row_type), partitioned)
+
+
+def scalar_input(label: str, tpe: T.Type = T.DOUBLE) -> InputSpec:
+    return InputSpec(label, tpe, partitioned=False)
+
+
+def build(fn: Callable, specs: Sequence[InputSpec]) -> Program:
+    """Stage ``fn`` applied to the declared inputs into a DMLL ``Program``."""
+
+    def make_inputs():
+        return [wrap(emit1(InputSource(s.tpe, s.label, s.partitioned), s.label))
+                for s in specs]
+
+    return build_program(fn, make_inputs, unwrap=_unwrap_result)
+
+
+def _unwrap_result(x):
+    if isinstance(x, Rep):
+        return x.exp
+    return unwrap(x)

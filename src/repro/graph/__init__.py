@@ -1,0 +1,12 @@
+"""OptiGraph: graph analytics DSL on DMLL with push/pull transformation."""
+
+from .optigraph import (pagerank_inputs, pagerank_oracle,
+                        pagerank_pull_program, pagerank_push_program,
+                        pagerank_run, select_model, triangle_inputs,
+                        triangle_oracle, triangle_program)
+
+__all__ = [
+    "pagerank_inputs", "pagerank_oracle", "pagerank_pull_program",
+    "pagerank_push_program", "pagerank_run", "select_model",
+    "triangle_inputs", "triangle_oracle", "triangle_program",
+]

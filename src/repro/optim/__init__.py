@@ -1,0 +1,8 @@
+"""Generic DMLL optimizations: fusion, CSE, DCE, code motion, AoS→SoA."""
+
+from .code_motion import code_motion
+from .cse import cse
+from .dce import dce
+from .fusion import fuse_horizontal, fuse_vertical
+
+__all__ = ["code_motion", "cse", "dce", "fuse_horizontal", "fuse_vertical"]

@@ -1,0 +1,56 @@
+"""Loop-invariant code motion.
+
+Hoists statements out of generator blocks when they do not depend on the
+block's parameters. Besides its usual performance role, hoisting is what
+lets the Conditional Reduce rule (§3.2) lift a reduction whose support
+computation is loop-invariant out of the enclosing Collect.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ..core.ir import Block, Def, Program, Sym, op_used_syms
+from ..core.multiloop import MultiLoop
+
+
+def split_invariant(block: Block) -> Tuple[List[Def], Block]:
+    """Partition a generator block's statements into (hoistable, residual).
+
+    A statement is hoistable when none of its (transitive) dependencies
+    reach the block parameters. Relative order is preserved on both sides.
+    """
+    dependent: Set[Sym] = set(block.params)
+    hoisted: List[Def] = []
+    residual: List[Def] = []
+    for d in block.stmts:
+        if any(s in dependent for s in op_used_syms(d.op)):
+            dependent.update(d.syms)
+            residual.append(d)
+        else:
+            hoisted.append(d)
+    return hoisted, Block(block.params, tuple(residual), block.results)
+
+
+def hoist_block(block: Block) -> Block:
+    """Recursively hoist invariant statements of any nested loop's generator
+    blocks into this block's statement list."""
+    out: List[Def] = []
+    for d in block.stmts:
+        if isinstance(d.op, MultiLoop):
+            new_blocks = []
+            for b in d.op.blocks():
+                b = hoist_block(b)
+                lifted, residual = split_invariant(b)
+                out.extend(lifted)
+                new_blocks.append(residual)
+            op = d.op.with_children(list(d.op.inputs()), new_blocks)
+            out.append(Def(d.syms, op))
+        else:
+            new_blocks = [hoist_block(b) for b in d.op.blocks()]
+            out.append(Def(d.syms, d.op.with_children(list(d.op.inputs()), new_blocks)))
+    return Block(block.params, tuple(out), block.results)
+
+
+def code_motion(prog: Program) -> Program:
+    return Program(prog.inputs, hoist_block(prog.body))

@@ -1,0 +1,50 @@
+"""Common subexpression elimination.
+
+Structural, per-scope: two statements with equal ops (same class, same
+operands after prior remappings) are merged. Ops carrying nested blocks are
+only merged when literally equal, which fresh bound symbols make rare —
+loop-level deduplication is horizontal fusion's job, not CSE's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.ir import Block, Def, Exp, Op, Program, Sym, subst_op
+
+
+def cse_block(block: Block) -> Block:
+    seen: Dict[Op, Def] = {}
+    env: Dict[Sym, Exp] = {}
+    out: List[Def] = []
+    for d in block.stmts:
+        op = subst_op(d.op, env)
+        op = op.with_children(list(op.inputs()), [cse_block(b) for b in op.blocks()])
+        prev = _lookup(seen, op)
+        if prev is not None and len(prev.syms) == len(d.syms):
+            for old, new in zip(d.syms, prev.syms):
+                env[old] = new
+            continue
+        nd = Def(d.syms, op)
+        _insert(seen, op, nd)
+        out.append(nd)
+    results = tuple(env.get(r, r) if isinstance(r, Sym) else r for r in block.results)
+    return Block(block.params, tuple(out), results)
+
+
+def _lookup(seen: Dict[Op, Def], op: Op):
+    try:
+        return seen.get(op)
+    except TypeError:  # unhashable op contents
+        return None
+
+
+def _insert(seen: Dict[Op, Def], op: Op, d: Def) -> None:
+    try:
+        seen[op] = d
+    except TypeError:
+        pass
+
+
+def cse(prog: Program) -> Program:
+    return Program(prog.inputs, cse_block(prog.body))

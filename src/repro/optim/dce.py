@@ -1,0 +1,51 @@
+"""Dead code elimination.
+
+All DMLL ops are pure, so any statement whose outputs are never referenced
+(transitively from the block results) can be dropped. Runs recursively
+through nested generator blocks. Fusion relies on DCE to clean up
+materializations that rewrites made redundant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..core.ir import Block, Def, Program, Sym, op_used_syms
+from ..core.multiloop import MultiLoop
+
+
+def dce_block(block: Block) -> Block:
+    live: Set[Sym] = set()
+    for r in block.results:
+        if isinstance(r, Sym):
+            live.add(r)
+    kept: List[Def] = []
+    for d in reversed(block.stmts):
+        if not any(s in live for s in d.syms):
+            continue
+        op = d.op
+        syms = d.syms
+        if isinstance(op, MultiLoop) and len(op.gens) > 1:
+            # dead generator elimination: drop outputs nobody reads
+            pairs = [(s, g) for s, g in zip(syms, op.gens) if s in live]
+            if pairs and len(pairs) < len(op.gens):
+                syms = tuple(s for s, _ in pairs)
+                op = MultiLoop(op.size, tuple(g for _, g in pairs))
+        new_blocks = [dce_block(b) for b in op.blocks()]
+        op = op.with_children(list(op.inputs()), new_blocks)
+        kept.append(Def(syms, op))
+        live.update(op_used_syms(op))
+    kept.reverse()
+    return Block(block.params, tuple(kept), block.results)
+
+
+def dce(prog: Program) -> Program:
+    body = dce_block(prog.body)
+    # program inputs are always retained: re-attach their defs if dropped
+    present = {s for d in body.stmts for s in d.syms}
+    missing = [s for s in prog.inputs if s not in present]
+    if missing:
+        orig = {d.syms[0]: d for d in prog.body.stmts if len(d.syms) == 1}
+        extra = tuple(orig[s] for s in missing if s in orig)
+        body = Block(body.params, extra + body.stmts, body.results)
+    return Program(prog.inputs, body)

@@ -1,0 +1,67 @@
+"""Length rewrites.
+
+``len(C)`` where ``C`` is a scope-local Collect is either the producer's
+size (unconditional Collect) or a count of passing elements (filtering
+Collect). Rewriting lengths this way lets DCE remove collections that were
+only materialized to be counted — in k-means it is what turns
+``as.count`` into a conditional count that the Conditional Reduce rule and
+horizontal fusion then lower into the ``cs`` bucket-reduce of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import types as T
+from ..core.ir import (Block, Const, Def, Exp, Program, Sym, fresh,
+                       refresh_block, subst_op)
+from ..core.multiloop import GenKind, Generator, MultiLoop, loop_def, reduce_gen
+from ..core.ops import ArrayLength, Prim
+
+
+def _count_reducer() -> Block:
+    a = fresh(T.INT, "a")
+    b = fresh(T.INT, "b")
+    s = fresh(T.INT, "s")
+    return Block((a, b), (Def((s,), Prim("add", (a, b))),), (s,))
+
+
+def _rewrite_block(block: Block) -> Block:
+    producers: Dict[Sym, Generator] = {}
+    sizes: Dict[Sym, Exp] = {}
+    env: Dict[Sym, Exp] = {}
+    out: List[Def] = []
+    for d in block.stmts:
+        op = subst_op(d.op, env) if env else d.op
+        op = op.with_children(list(op.inputs()),
+                              [_rewrite_block(b) for b in op.blocks()])
+        if isinstance(op, MultiLoop):
+            for s, g in zip(d.syms, op.gens):
+                if g.kind is GenKind.COLLECT and not g.flatten:
+                    producers[s] = g
+                    sizes[s] = op.size
+        if isinstance(op, ArrayLength) and isinstance(op.arr, Sym) \
+                and op.arr in producers:
+            g = producers[op.arr]
+            if g.cond is None:
+                # len(map(...)) == size of the producer's range
+                env[d.sym] = sizes[op.arr]
+                continue
+            # len(filter(...)) == conditional count over the range
+            j = fresh(T.INT, "j")
+            ones = Block((j,), (), (Const(1),))
+            cnt = loop_def(sizes[op.arr],
+                           [reduce_gen(ones, _count_reducer(),
+                                       cond=refresh_block(g.cond))],
+                           ["count"])
+            out.append(cnt)
+            env[d.sym] = cnt.syms[0]
+            continue
+        out.append(Def(d.syms, op))
+    results = tuple(env.get(r, r) if isinstance(r, Sym) else r
+                    for r in block.results)
+    return Block(block.params, tuple(out), results)
+
+
+def rewrite_lengths(prog: Program) -> Program:
+    return Program(prog.inputs, _rewrite_block(prog.body))

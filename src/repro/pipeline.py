@@ -1,0 +1,133 @@
+"""The DMLL compiler driver.
+
+Phase order (DESIGN.md §6)::
+
+    staging -> CSE -> pipeline fusion -> length rewrites -> DCE
+            -> code motion -> horizontal fusion -> DCE
+            -> [distributed CPU] partitioning analysis (Alg. 1)
+                 -> stencil-triggered Fig. 3 rewrites -> re-fuse
+            -> [GPU] Row-to-Column Reduce (always, §3.2)
+
+``compile_program`` returns a ``CompiledProgram`` bundling the optimized
+IR with the partitioning/stencil report that the runtime executor consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .analysis.partitioning import (DataLayout, PartitionReport,
+                                    partition_and_transform)
+from .analysis.stencil import LoopStencils, analyze_program
+from .core.ir import Program
+from .optim.code_motion import code_motion
+from .optim.cse import cse
+from .optim.dce import dce
+from .optim.fusion import fuse_horizontal, fuse_vertical
+from .optim.length_rewrite import rewrite_lengths
+from .optim.soa import aos_to_soa, soa_input_values
+from .transforms import GPU_RULES, apply_rules_everywhere
+
+
+def optimize(prog: Program, horizontal: bool = True,
+             groupby_reduce: bool = True,
+             applied_log: Optional[list] = None) -> Program:
+    """The target-independent optimization pipeline.
+
+    Horizontal fusion is deferrable (``horizontal=False``) because the
+    Fig. 3 rules match single-generator loops: transforms run on the
+    vertically-fused program first, and the resulting bucket-reduces are
+    then merged into one traversal — the Fig. 5 order of events.
+
+    GroupBy-Reduce runs here (not only on stencil triggers) because it is
+    always profitable: Table 2 applies it even for sequential CPU code.
+    """
+    from .transforms import GroupByReduce
+    prog = cse(prog)
+    prog = fuse_vertical(prog)
+    prog = rewrite_lengths(prog)
+    prog = fuse_vertical(prog)
+    prog = dce(prog)
+    prog = code_motion(prog)
+    prog = cse(prog)
+    prog = fuse_vertical(prog)
+    if groupby_reduce:
+        prog = apply_rules_everywhere(prog, (GroupByReduce(),),
+                                      log=applied_log)
+        prog = fuse_vertical(prog)
+        prog = dce(prog)
+    if horizontal:
+        prog = fuse_horizontal(prog)
+    prog = dce(prog)
+    return prog
+
+
+@dataclass
+class CompiledProgram:
+    """An optimized program plus everything the runtime needs to place it."""
+
+    program: Program
+    report: PartitionReport
+    stencils: Dict[int, LoopStencils] = field(default_factory=dict)
+    target: str = "cpu"
+
+    @property
+    def warnings(self):
+        return self.report.warnings
+
+    def prepare_inputs(self, inputs: Dict[str, object]) -> Dict[str, object]:
+        """Split AoS table inputs into the columns an SoA-transformed
+        program expects."""
+        return soa_input_values(self.program, inputs)
+
+    def run(self, inputs: Dict[str, object], observer=None):
+        """Execute on the reference interpreter (results, stats)."""
+        from .core.interp import run_program
+        return run_program(self.program, self.prepare_inputs(inputs),
+                           observer=observer)
+
+
+def compile_program(prog: Program, target: str = "cpu",
+                    apply_nested_transforms: bool = True) -> CompiledProgram:
+    """Compile for ``target`` in {'cpu', 'distributed', 'gpu'}.
+
+    ``apply_nested_transforms=False`` disables the Fig. 3 rewrites (used by
+    the ablation benchmarks that measure their impact)."""
+    nt = apply_nested_transforms
+    applied: list = []
+    # SoA runs twice: once on raw inputs, and once after fusion has inlined
+    # struct elements that previously escaped through filter/groupBy chains
+    prog = aos_to_soa(prog, log=applied)
+    prog = optimize(prog, horizontal=False, groupby_reduce=nt,
+                    applied_log=applied)
+    prog = aos_to_soa(prog, log=applied)
+    prog = optimize(prog, horizontal=False, groupby_reduce=nt)
+
+    if target in ("distributed", "cpu") and nt:
+        prog, rep = partition_and_transform(prog)
+        applied.extend(rep.applied_rules)
+        prog = optimize(prog, horizontal=False)
+
+    if target == "gpu" and nt:
+        # distribute across the cluster first (C2R direction)...
+        prog, rep = partition_and_transform(prog)
+        applied.extend(rep.applied_rules)
+        # ...then invert for the device kernel (§3.2: always R2C on GPUs).
+        # Code motion first (it exposes the loop-invariant prefix that
+        # R2C's fission step materializes, e.g. LogReg's per-sample error),
+        # but *no* fusion yet: the bucket keys must stay plain reads of
+        # materialized values (the k-means assignment vector) so the
+        # transposed per-column reductions share them between kernels.
+        prog = dce(cse(code_motion(prog)))
+        prog = apply_rules_everywhere(prog, GPU_RULES, log=applied)
+        prog = optimize(prog, horizontal=False)
+
+    # horizontal fusion merges the transformed traversals (Fig. 5)
+    prog = optimize(prog, horizontal=True, groupby_reduce=nt)
+
+    # final analysis-only pass for the report (no rewriting)
+    prog, report = partition_and_transform(prog, rules=())
+    report.applied_rules = applied + report.applied_rules
+    stencils = analyze_program(prog)
+    return CompiledProgram(prog, report, stencils, target)

@@ -1,0 +1,7 @@
+"""Reporting helpers: the Table 1 feature matrix and ASCII table rendering."""
+
+from .feature_matrix import FEATURES, SYSTEMS, feature_matrix_rows, render_feature_matrix
+from .tables import render_table
+
+__all__ = ["FEATURES", "SYSTEMS", "feature_matrix_rows",
+           "render_feature_matrix", "render_table"]

@@ -1,0 +1,94 @@
+"""Command-line inspector: dump a benchmark application's IR at any
+pipeline stage, its analyses, or its generated backend code.
+
+Usage::
+
+    python -m repro.tools kmeans                 # optimized IR
+    python -m repro.tools kmeans --stage staged  # as written
+    python -m repro.tools logreg --target gpu --emit cuda
+    python -m repro.tools q1 --report            # partitioning/stencils
+    python -m repro.tools --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.stencil import Stencil
+from .core.pretty import pretty
+from .pipeline import compile_program
+
+_APPS = {
+    "kmeans": lambda: __import__("repro.apps.kmeans", fromlist=["x"]).kmeans_shared_program(),
+    "kmeans-grouped": lambda: __import__("repro.apps.kmeans", fromlist=["x"]).kmeans_grouped_program(),
+    "logreg": lambda: __import__("repro.apps.logreg", fromlist=["x"]).logreg_program(),
+    "gda": lambda: __import__("repro.apps.gda", fromlist=["x"]).gda_program(),
+    "q1": lambda: __import__("repro.apps.tpch", fromlist=["x"]).q1_program(),
+    "gene": lambda: __import__("repro.apps.gene", fromlist=["x"]).gene_program(),
+    "knn": lambda: __import__("repro.apps.knn", fromlist=["x"]).knn_program(),
+    "naive-bayes": lambda: __import__("repro.apps.naive_bayes", fromlist=["x"]).nb_program(),
+    "gibbs": lambda: __import__("repro.apps.gibbs", fromlist=["x"]).gibbs_sweep_program(),
+    "pagerank": lambda: __import__("repro.graph.optigraph", fromlist=["x"]).pagerank_pull_program(),
+    "pagerank-push": lambda: __import__("repro.graph.optigraph", fromlist=["x"]).pagerank_push_program(),
+    "triangle": lambda: __import__("repro.graph.optigraph", fromlist=["x"]).triangle_program(),
+}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="repro.tools", description=__doc__)
+    ap.add_argument("app", nargs="?", help="application name (see --list)")
+    ap.add_argument("--list", action="store_true", help="list applications")
+    ap.add_argument("--stage", choices=("staged", "compiled"),
+                    default="compiled")
+    ap.add_argument("--target", choices=("cpu", "distributed", "gpu"),
+                    default="distributed")
+    ap.add_argument("--emit", choices=("ir", "cpp", "cuda", "scala"),
+                    default="ir")
+    ap.add_argument("--report", action="store_true",
+                    help="print the partitioning/stencil report")
+    ap.add_argument("--no-transforms", action="store_true",
+                    help="disable the Fig. 3 nested pattern rules")
+    args = ap.parse_args(argv)
+
+    if args.list or not args.app:
+        print("applications:", ", ".join(sorted(_APPS)))
+        return 0
+    if args.app not in _APPS:
+        print(f"unknown app {args.app!r}; use --list", file=sys.stderr)
+        return 2
+
+    prog = _APPS[args.app]()
+    if args.stage == "staged":
+        print(pretty(prog))
+        return 0
+
+    compiled = compile_program(prog, args.target,
+                               apply_nested_transforms=not args.no_transforms)
+    if args.report:
+        print("applied rules:", compiled.report.applied_rules or "fusion only")
+        for w in compiled.warnings:
+            print("warning:", w)
+        for ls in compiled.stencils.values():
+            reads = {str(s): v.value for s, v in ls.reads.items()}
+            print(f"loop {ls.loop_sym}: {reads}")
+        for sym, layout in compiled.report.layouts.items():
+            print(f"  {sym}: {layout.value}")
+        return 0
+
+    if args.emit == "ir":
+        print(pretty(compiled.program))
+    elif args.emit == "cpp":
+        from .codegen import generate_cpp
+        print(generate_cpp(compiled.program))
+    elif args.emit == "cuda":
+        from .codegen import generate_cuda
+        print(generate_cuda(compiled.program))
+    else:
+        from .codegen import generate_scala
+        print(generate_scala(compiled.program))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Nested parallel pattern transformations (Fig. 3).
+
+The four rules do not overlap and the driver applies a single rule at a
+time, keeping the search space linear and order-independent (§4.2).
+"""
+
+from .common import Rule, apply_rule_once, apply_rules_everywhere
+from .conditional_reduce import ConditionalReduce
+from .groupby_reduce import GroupByReduce
+from .interchange import (BucketRowToColumnReduce, ColumnToRowReduce,
+                          RowToColumnReduce)
+
+#: the rules tried when stencil analysis reports an Unknown access (§4.2) —
+#: these restructure for *distribution* (the interchange direction that
+#: parallelizes over the large dataset).
+DISTRIBUTION_RULES = (GroupByReduce(), ConditionalReduce(), ColumnToRowReduce())
+
+#: the rules applied when lowering to GPUs (§3.2: "for the GPU we always
+#: perform a Row-to-Column Reduce when possible").
+GPU_RULES = (RowToColumnReduce(), BucketRowToColumnReduce())
+
+__all__ = [
+    "Rule", "apply_rule_once", "apply_rules_everywhere",
+    "ConditionalReduce", "GroupByReduce", "ColumnToRowReduce",
+    "RowToColumnReduce", "BucketRowToColumnReduce",
+    "DISTRIBUTION_RULES", "GPU_RULES",
+]

@@ -1,0 +1,155 @@
+"""The CONDITIONAL REDUCE rule (Fig. 3).
+
+::
+
+    Collect_s1(_)(i => Reduce_s2(j => g(j) == h(i))(f)(r))
+      -->  H = BucketReduce_s2(_)(g)(f)(r)
+           Collect_s1(_)(i => H(h(i)))
+
+Matches a reduction, nested in an outer pattern, whose *predicate* compares
+a function of the inner index against a function of the outer index. The
+rewrite pre-computes every partial reduction in one pass over the inner
+domain (bucketed by ``g``), breaking the dependency on the outer loop —
+this is precisely what makes shared-memory k-means distributable (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..core import types as T
+from ..core.ir import (Block, Const, Def, Exp, Sym, def_index, fresh,
+                       refresh_block, subst_block)
+from ..core.multiloop import (GenKind, Generator, MultiLoop, bucket_reduce,
+                              loop_def, single_gen)
+from ..core.ops import BucketLookup, Prim
+from .common import (Rule, block_is_free_of, exp_is_free_of, locals_of,
+                     slice_deps)
+
+
+class ConditionalReduce(Rule):
+    name = "conditional-reduce"
+
+    def apply_to(self, block: Block, pos: int) -> Optional[List[Def]]:
+        d = block.stmts[pos]
+        if not isinstance(d.op, MultiLoop):
+            return None
+        scope_locals = locals_of(block)
+        for gi, g in enumerate(d.op.gens):
+            out = self._try_generator(block, d, gi, g, scope_locals)
+            if out is not None:
+                return out
+        return None
+
+    def _try_generator(self, block: Block, d: Def, gi: int, g: Generator,
+                       scope_locals: Set[Sym]) -> Optional[List[Def]]:
+        V = g.value
+        v_locals = locals_of(V)
+        # rewrite every matching reduce in one application (k-means has two:
+        # the per-cluster sums and counts, Fig. 5's ss and cs)
+        matches = []
+        for rdef in V.stmts:
+            rgen = single_gen(rdef)
+            if rgen is None or rgen.kind is not GenKind.REDUCE:
+                continue
+            match = self._match_reduce(V, rdef, rgen, v_locals)
+            if match is None:
+                continue
+            key_block, h_stmts, h_exp = match
+            # everything hoisted must be computable at this scope
+            if not self._hoistable(rdef.op.size, rgen, key_block, v_locals):
+                continue
+            matches.append((rdef, rgen, key_block, h_stmts, h_exp))
+        if not matches:
+            return None
+        return self._rewrite(block, d, gi, g, V, matches)
+
+    def _match_reduce(self, V: Block, rdef: Def, rgen: Generator,
+                      v_locals: Set[Sym]):
+        """Recognize ``cond = (g(j) == h(i))`` and split its two sides."""
+        cb = rgen.cond
+        if cb is None or len(cb.params) != 1:
+            return None
+        res = cb.result
+        if not isinstance(res, Sym):
+            return None
+        idx = def_index(cb)
+        eq = idx.get(res)
+        if eq is None or not isinstance(eq.op, Prim) or eq.op.name != "eq":
+            return None
+        j = cb.params[0]
+        a, b = eq.op.args
+        a_free_of_j = exp_is_free_of(a, cb, {j})
+        b_free_of_j = exp_is_free_of(b, cb, {j})
+        if a_free_of_j == b_free_of_j:
+            return None  # need exactly one j-dependent side
+        g_exp, h_exp = (b, a) if a_free_of_j else (a, b)
+        key_stmts = slice_deps(cb, [g_exp])
+        key_block = Block((j,), tuple(key_stmts), (g_exp,))
+        # the key function must not capture outer-loop state
+        if not block_is_free_of(key_block, v_locals):
+            return None
+        h_stmts = slice_deps(cb, [h_exp])
+        # the h side must not touch the inner index
+        if any(s == j for st in h_stmts for s in _used(st)):
+            return None
+        return key_block, h_stmts, h_exp
+
+    def _hoistable(self, size: Exp, rgen: Generator, key_block: Block,
+                   v_locals: Set[Sym]) -> bool:
+        if isinstance(size, Sym) and size in v_locals:
+            return False
+        if not block_is_free_of(rgen.value, v_locals):
+            return False
+        if rgen.reducer is not None and not block_is_free_of(rgen.reducer, v_locals):
+            return False
+        if rgen.init is not None and not isinstance(rgen.init, Const):
+            return False
+        return True
+
+    def _rewrite(self, block: Block, d: Def, gi: int, g: Generator, V: Block,
+                 matches) -> List[Def]:
+        from ..core.ir import subst_op
+        hoisted: List[Def] = []
+        replacements = {}  # id(rdef) -> (rdef, rgen, h_sym, h_stmts, h_exp)
+        for rdef, rgen, key_block, h_stmts, h_exp in matches:
+            # H = BucketReduce_s2(_)(g)(f)(r), hoisted before the outer loop
+            h_gen = bucket_reduce(key=refresh_block(key_block),
+                                  value=refresh_block(rgen.value),
+                                  reducer=refresh_block(rgen.reducer),
+                                  cond=None, init=rgen.init)
+            h_def = loop_def(rdef.op.size, [h_gen], ["bktred"])
+            hoisted.append(h_def)
+            replacements[id(rdef)] = (rdef, rgen, h_def.syms[0], h_stmts, h_exp)
+
+        # inside V: materialize each h(i) and look it up in its H
+        new_stmts: List[Def] = []
+        subst = {}
+        for st in V.stmts:
+            hit = replacements.get(id(st))
+            if hit is None:
+                new_stmts.append(st)
+                continue
+            rdef, rgen, h_sym, h_stmts, h_exp = hit
+            env = {}
+            for hs in h_stmts:
+                new_syms = tuple(fresh(s.tpe, s.name) for s in hs.syms)
+                new_stmts.append(Def(new_syms, subst_op(hs.op, env)))
+                env.update(dict(zip(hs.syms, new_syms)))
+            h_mapped = env.get(h_exp, h_exp) if isinstance(h_exp, Sym) else h_exp
+            lk = fresh(rgen.value.result_type, "partial")
+            new_stmts.append(Def((lk,), BucketLookup(h_sym, h_mapped)))
+            subst[rdef.syms[0]] = lk
+
+        new_V = subst_block(Block(V.params, tuple(new_stmts), V.results), subst)
+        new_gens = list(d.op.gens)
+        new_gens[gi] = Generator(g.kind, new_V, cond=g.cond, key=g.key,
+                                 reducer=g.reducer, init=g.init,
+                                 flatten=g.flatten)
+        new_loop = Def(d.syms, MultiLoop(d.op.size, tuple(new_gens)))
+        return hoisted + [new_loop]
+
+
+def _used(d: Def):
+    from ..core.ir import op_used_syms
+    return op_used_syms(d.op)

@@ -1,0 +1,226 @@
+"""The GROUPBY-REDUCE rule (Fig. 3).
+
+::
+
+    A = BucketCollect_s(c)(k)(f1)
+    Collect_A(_)(i => Reduce_{A(i)}(_)(f2)(r))
+      -->  H = BucketReduce_s(c)(k)(f2(f1))(r)
+           Collect_H(_)(i => H(i))
+
+Eliminates materialized buckets when each bucket is only reduced: the
+values are folded on the fly as they are assigned to buckets, in a single
+traversal. A companion pattern rewrites ``A(i).length`` (the ``count`` of
+a group, as in TPC-H Q1's ``avg``) into a horizontally-fusable
+``BucketReduce`` of ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..core import types as T
+from ..core.ir import (Block, Const, Def, Exp, Sym, def_index, fresh,
+                       inline_block, op_used_syms, refresh_block, subst_block)
+from ..core.multiloop import (GenKind, Generator, MultiLoop, bucket_reduce,
+                              loop_def, single_gen)
+from ..core.ops import ArrayApply, ArrayLength, Prim
+from ..optim.fusion import _block_reads, _nested_reads, _refs_canonical, _replace_reads
+from .common import Rule, block_is_free_of, locals_of
+
+
+class GroupByReduce(Rule):
+    name = "groupby-reduce"
+
+    def apply_to(self, block: Block, pos: int) -> Optional[List[Def]]:
+        d = block.stmts[pos]
+        if not isinstance(d.op, MultiLoop):
+            return None
+        idx = def_index(block)
+        for gi, g in enumerate(d.op.gens):
+            out = self._try_generator(block, idx, d, gi, g)
+            if out is not None:
+                return out
+        return None
+
+    def _try_generator(self, block: Block, idx, d: Def, gi: int,
+                       g: Generator) -> Optional[List[Def]]:
+        V = g.value
+        if len(V.params) != 1:
+            return None
+        i = V.params[0]
+        v_idx = def_index(V)
+        v_locals = locals_of(V)
+        # find a dense bucket access `bkt = A(i)` where A is a scope-local
+        # BucketCollect and this loop ranges over len(A)
+        for bdef in V.stmts:
+            if not isinstance(bdef.op, ArrayApply):
+                continue
+            if bdef.op.idx != i:
+                continue
+            a_sym = bdef.op.arr
+            if not isinstance(a_sym, Sym) or not isinstance(a_sym.tpe, T.KeyedColl):
+                continue
+            a_def = idx.get(a_sym)
+            if a_def is None:
+                continue
+            a_gen = single_gen(a_def)
+            if a_gen is None or a_gen.kind is not GenKind.BUCKET_COLLECT:
+                continue
+            if not self._loop_ranges_over(d.op.size, a_sym, idx):
+                continue
+            out = self._rewrite(block, d, gi, g, V, bdef, a_def, a_gen,
+                                v_locals)
+            if out is not None:
+                return out
+        return None
+
+    def _loop_ranges_over(self, size: Exp, a_sym: Sym, idx) -> bool:
+        if isinstance(size, Sym):
+            sd = idx.get(size)
+            return (sd is not None and isinstance(sd.op, ArrayLength)
+                    and sd.op.arr == a_sym)
+        return False
+
+    def _rewrite(self, block: Block, d: Def, gi: int, g: Generator, V: Block,
+                 bdef: Def, a_def: Def, a_gen: Generator,
+                 v_locals: Set[Sym]) -> Optional[List[Def]]:
+        bkt = bdef.sym
+        v_idx = def_index(V)
+        hoisted: List[Def] = []
+        env = {}
+
+        # (a) nested full reductions of the bucket
+        reduces: List[Tuple[Def, Generator]] = []
+        for rdef in V.stmts:
+            rgen = single_gen(rdef)
+            if rgen is None or rgen.kind is not GenKind.REDUCE:
+                continue
+            if rgen.cond is not None:
+                continue
+            if not self._ranges_over_bucket(rdef.op.size, bkt, v_idx):
+                continue
+            if not _refs_canonical(rgen.value, bkt, rgen.value.params[0]):
+                continue
+            # f2 and r must not capture outer-loop state (besides the bucket)
+            if not block_is_free_of(rgen.value, v_locals - {bkt}):
+                continue
+            if not block_is_free_of(rgen.reducer, v_locals):
+                continue
+            reduces.append((rdef, rgen))
+        if not reduces:
+            return None
+
+        for rdef, rgen in reduces:
+            composed = self._compose_value(rgen.value, a_gen, bkt)
+            h_gen = bucket_reduce(
+                key=refresh_block(a_gen.key),
+                value=composed,
+                reducer=refresh_block(rgen.reducer),
+                cond=refresh_block(a_gen.cond) if a_gen.cond else None,
+                init=rgen.init)
+            h_def = loop_def(a_def.op.size, [h_gen], ["bktred"])
+            hoisted.append(h_def)
+            env[rdef.syms[0]] = ("reduce", rdef, h_def.syms[0])
+
+        # (b) bucket counts: n = len(bkt) used beyond the reduces' sizes
+        count_h: Optional[Sym] = None
+        dropped_lens: Set[int] = set()
+        for ldef in V.stmts:
+            if isinstance(ldef.op, ArrayLength) and ldef.op.arr == bkt:
+                remaining_uses = self._uses_outside(V, ldef.sym,
+                                                    {id(r[0]) for r in reduces})
+                if not remaining_uses:
+                    # only used as a removed reduce's size: drop it
+                    dropped_lens.add(id(ldef))
+                    continue
+                if remaining_uses:
+                    if count_h is None:
+                        ones = Block((fresh(T.INT, "j"),), (), (Const(1),))
+                        add = _int_add_block()
+                        hc_gen = bucket_reduce(
+                            key=refresh_block(a_gen.key), value=ones,
+                            reducer=add,
+                            cond=refresh_block(a_gen.cond) if a_gen.cond else None)
+                        hc_def = loop_def(a_def.op.size, [hc_gen], ["bktcnt"])
+                        hoisted.append(hc_def)
+                        count_h = hc_def.syms[0]
+                    env[ldef.sym] = ("count", ldef, count_h)
+
+        # any other use of the bucket value blocks the transform for safety
+        replaced_defs = {id(rdef) for rdef, _ in reduces}
+        replaced_defs.update(id(ld) for s, (kind, ld, _) in env.items()
+                             if kind == "count")
+        replaced_defs.update(dropped_lens)
+        for st in V.stmts:
+            if id(st) in replaced_defs or st is bdef:
+                continue
+            if bkt in op_used_syms(st.op):
+                return None
+        if bkt in (r for r in V.results if isinstance(r, Sym)):
+            return None
+
+        # rebuild V: drop replaced defs, read H / Hc at the dense position
+        i = V.params[0]
+        new_stmts: List[Def] = []
+        subst = {}
+        for st in V.stmts:
+            hit = None
+            for old_sym, (kind, old_def, h_sym) in env.items():
+                if st is old_def:
+                    hit = (old_sym, h_sym)
+                    break
+            if hit is not None:
+                old_sym, h_sym = hit
+                nn = fresh(old_sym.tpe, old_sym.name)
+                new_stmts.append(Def((nn,), ArrayApply(h_sym, i)))
+                subst[old_sym] = nn
+                continue
+            if st is bdef or id(st) in dropped_lens:
+                continue  # the bucket itself is no longer read
+            new_stmts.append(st)
+        new_V = subst_block(Block(V.params, tuple(new_stmts), V.results), subst)
+
+        # the loop now ranges over len(H) instead of len(A)
+        first_h = hoisted[0].syms[0]
+        nlen = fresh(T.INT, "n")
+        len_def = Def((nlen,), ArrayLength(first_h))
+
+        new_gens = list(d.op.gens)
+        new_gens[gi] = Generator(g.kind, new_V, cond=g.cond, key=g.key,
+                                 reducer=g.reducer, init=g.init,
+                                 flatten=g.flatten)
+        new_loop = Def(d.syms, MultiLoop(nlen, tuple(new_gens)))
+        return hoisted + [len_def, new_loop]
+
+    def _ranges_over_bucket(self, size: Exp, bkt: Sym, v_idx) -> bool:
+        if isinstance(size, Sym):
+            sd = v_idx.get(size)
+            return (sd is not None and isinstance(sd.op, ArrayLength)
+                    and sd.op.arr == bkt)
+        return False
+
+    def _uses_outside(self, V: Block, sym: Sym, excluded_def_ids) -> bool:
+        for st in V.stmts:
+            if id(st) in excluded_def_ids:
+                continue
+            if sym in op_used_syms(st.op):
+                return True
+        return sym in V.results
+
+    def _compose_value(self, f2: Block, a_gen: Generator, bkt: Sym) -> Block:
+        """``f2(f1)``: the reduce's value function applied to the bucket
+        source's value function."""
+        j0 = fresh(T.INT, "j")
+        pre: List[Def] = []
+        v1 = inline_block(a_gen.value, [j0], pre)
+        body = refresh_block(
+            Block(f2.params[1:], f2.stmts, f2.results), {f2.params[0]: j0})
+        body = _replace_reads(Block((j0,), body.stmts, body.results), bkt, j0, v1)
+        return Block((j0,), tuple(pre) + body.stmts, body.results)
+
+
+def _int_add_block() -> Block:
+    a = fresh(T.INT, "a")
+    b = fresh(T.INT, "b")
+    s = fresh(T.INT, "s")
+    return Block((a, b), (Def((s,), Prim("add", (a, b))),), (s,))

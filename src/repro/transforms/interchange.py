@@ -1,0 +1,416 @@
+"""Loop interchange rules (Fig. 3): COLUMN-TO-ROW and ROW-TO-COLUMN REDUCE.
+
+::
+
+    (C2R)  Collect_s1(_)(i => Reduce_s2(c)(f)(r))
+             -->  R = Reduce_s2(c)(fv)(rv)
+                  Collect_s1(_)(i => R(i))
+
+    (R2C)  Reduce_s1(c)(fv)(rv: (a,b) => Collect_s2(_)(i => r(a(i),b(i))))
+             -->  Collect_s2(_)(i => Reduce_s1(c)(f)(r))
+           iff size(a) == size(b) == s2
+
+``fv``/``rv`` are vectorized versions of ``f``/``r`` (each scalar function
+wrapped in a Collect). C2R turns a "vector of sums" into a "sum of
+vectors" — the distribution-friendly direction for logistic regression —
+while R2C is its exact inverse, used on GPUs where reducing non-scalar
+types is inefficient (§3.2). A bucket variant of R2C handles k-means'
+vector-valued ``BucketReduce``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..core import types as T
+from ..core.ir import (Block, Const, Def, Exp, Sym, def_index, fresh,
+                       inline_block, op_used_syms, refresh_block, subst_block)
+from ..core.multiloop import (GenKind, Generator, MultiLoop, bucket_reduce,
+                              collect, loop_def, reduce_gen, single_gen)
+from ..core.ops import (ArrayApply, ArrayLength, BucketKeys,
+                        MakeKeyed, StructField, StructNew)
+from .common import Rule, block_is_free_of, locals_of
+
+
+def _vectorized_reducer(elem_t: T.Type, r: Block) -> Block:
+    """``rv(a, b) = zipWith(r)(a, b)`` built explicitly in IR."""
+    coll_t = T.Coll(elem_t)
+    a = fresh(coll_t, "a")
+    b = fresh(coll_t, "b")
+    n = fresh(T.INT, "n")
+    k = fresh(T.INT, "k")
+    av = fresh(elem_t, "av")
+    bv = fresh(elem_t, "bv")
+    inner_stmts: List[Def] = [Def((av,), ArrayApply(a, k)),
+                              Def((bv,), ArrayApply(b, k))]
+    res = inline_block(r, [av, bv], inner_stmts)
+    vblock = Block((k,), tuple(inner_stmts), (res,))
+    ld = loop_def(n, [collect(vblock)], ["vsum"])
+    return Block((a, b), (Def((n,), ArrayLength(a)), ld), (ld.syms[0],))
+
+
+def _match_vectorized_reducer(rv: Block) -> Optional[Block]:
+    """Recognize ``(a,b) => Collect_{len(a)}(k => r(a(k), b(k)))`` and
+    recover the scalar ``r``; None if the shape doesn't match."""
+    if len(rv.params) != 2:
+        return None
+    a, b = rv.params
+    idx = def_index(rv)
+    res = rv.result
+    if not isinstance(res, Sym):
+        return None
+    ld = idx.get(res)
+    if ld is None:
+        return None
+    g = single_gen(ld)
+    if g is None or g.kind is not GenKind.COLLECT or g.cond is not None or g.flatten:
+        return None
+    # loop size must be len(a) or len(b)
+    size = ld.op.size
+    if isinstance(size, Sym):
+        sd = idx.get(size)
+        if sd is None or not isinstance(sd.op, ArrayLength) or sd.op.arr not in (a, b):
+            return None
+    else:
+        return None
+    # every other stmt must be a length def feeding the loop
+    for st in rv.stmts:
+        if st is ld:
+            continue
+        if isinstance(st.op, ArrayLength) and st.op.arr in (a, b):
+            continue
+        return None
+    # inside the value block, a and b may only be read at the loop index
+    vb = g.value
+    k = vb.params[0]
+    pa = fresh(_elem_t(a.tpe), "ra")
+    pb = fresh(_elem_t(b.tpe), "rb")
+    new_stmts: List[Def] = []
+    env = {}
+    for st in vb.stmts:
+        op = st.op
+        if isinstance(op, ArrayApply) and op.arr == a and op.idx == k:
+            env[st.sym] = pa
+            continue
+        if isinstance(op, ArrayApply) and op.arr == b and op.idx == k:
+            env[st.sym] = pb
+            continue
+        new_stmts.append(st)
+    scalar = subst_block(Block((pa, pb), tuple(new_stmts), vb.results), env)
+    bad = {a, b, k}
+    from ..core.ir import free_sym_set
+    if free_sym_set(scalar) & bad:
+        return None
+    return refresh_block(scalar)
+
+
+def _elem_t(t: T.Type) -> T.Type:
+    return T.element_type(t)
+
+
+class ColumnToRowReduce(Rule):
+    """Lift a scalar reduction out of an outer Collect by vectorizing it."""
+
+    name = "column-to-row-reduce"
+
+    def apply_to(self, block: Block, pos: int) -> Optional[List[Def]]:
+        d = block.stmts[pos]
+        g = single_gen(d)
+        if g is None or g.kind is not GenKind.COLLECT or g.cond is not None:
+            return None
+        V = g.value
+        if len(V.params) != 1:
+            return None
+        i = V.params[0]
+        v_locals = locals_of(V)
+        for rpos, rdef in enumerate(V.stmts):
+            rgen = single_gen(rdef)
+            if rgen is None or rgen.kind is not GenKind.REDUCE:
+                continue
+            if rgen.init is not None:
+                continue
+            f = rgen.value
+            if isinstance(f.result_type, (T.Coll, T.KeyedColl)):
+                continue  # already vector-valued
+            # f must depend only on its own index, the outer index i, and
+            # scope-level values
+            if not block_is_free_of(f, v_locals - {i}):
+                continue
+            if rgen.cond is not None and not block_is_free_of(rgen.cond, v_locals):
+                continue
+            if not block_is_free_of(rgen.reducer, v_locals):
+                continue
+            s2 = rdef.op.size
+            if isinstance(s2, Sym) and s2 in v_locals:
+                continue
+            return self._rewrite(block, d, g, V, rpos, rdef, rgen, i)
+        return None
+
+    def _rewrite(self, block: Block, d: Def, g: Generator, V: Block,
+                 rpos: int, rdef: Def, rgen: Generator, i: Sym) -> List[Def]:
+        s1 = d.op.size
+        s2 = rdef.op.size
+        f = rgen.value
+        elem_t = f.result_type
+
+        # fv(j) = Collect_s1(i2 => f[j, i -> i2])
+        j = fresh(T.INT, "j")
+        i2 = fresh(T.INT, "i2")
+        inner_body = refresh_block(
+            Block(f.params[1:], f.stmts, f.results),
+            {f.params[0]: j, i: i2})
+        inner_value = Block((i2,), inner_body.stmts, inner_body.results)
+        inner_loop = loop_def(s1, [collect(inner_value)], ["fv"])
+        fv = Block((j,), (inner_loop,), (inner_loop.syms[0],))
+
+        rv = _vectorized_reducer(elem_t, rgen.reducer)
+
+        # identity for the empty inner domain: a vector of zeros over s1
+        zi = fresh(T.INT, "zi")
+        zeros_block = Block((zi,), (), (Const(T.zero_value(elem_t), elem_t),))
+        zeros_def = loop_def(s1, [collect(zeros_block)], ["zeros"])
+
+        new_cond = refresh_block(rgen.cond) if rgen.cond is not None else None
+        r_def = loop_def(s2, [reduce_gen(fv, rv, cond=new_cond,
+                                         init=zeros_def.syms[0])], ["vred"])
+        r_sym = r_def.syms[0]
+
+        # outer loop now just indexes the vectorized result
+        t = fresh(elem_t, "gv")
+        read = Def((t,), ArrayApply(r_sym, i))
+        new_stmts = V.stmts[:rpos] + (read,) + V.stmts[rpos + 1:]
+        new_V = subst_block(Block(V.params, new_stmts, V.results),
+                            {rdef.syms[0]: t})
+        new_loop = Def(d.syms, MultiLoop(
+            d.op.size, (Generator(g.kind, new_V, cond=g.cond, key=g.key,
+                                  reducer=g.reducer, init=g.init,
+                                  flatten=g.flatten),)))
+        return [zeros_def, r_def, new_loop]
+
+
+class RowToColumnReduce(Rule):
+    """Inverse of C2R: split a vector reduction into scalar reductions."""
+
+    name = "row-to-column-reduce"
+
+    def apply_to(self, block: Block, pos: int) -> Optional[List[Def]]:
+        d = block.stmts[pos]
+        g = single_gen(d)
+        if g is None or g.kind is not GenKind.REDUCE:
+            return None
+        match = _vector_template(g.value, d.op.size)
+        if match is None:
+            return None
+        prelude, s2, template = match
+        if isinstance(s2, Sym) and s2 in locals_of(g.value):
+            return None
+        scalar_r = _match_vectorized_reducer(g.reducer)
+        if scalar_r is None:
+            return None
+
+        s1 = d.op.size
+        # Collect_s2(j => Reduce_s1(c)(i => f(i, j))(r))
+        j = fresh(T.INT, "j")
+        ir = fresh(T.INT, "ir")
+        stmts: List[Def] = []
+        res = inline_block(template, [ir, j], stmts)
+        inner_value = Block((ir,), tuple(stmts), (res,))
+        new_cond = refresh_block(g.cond) if g.cond is not None else None
+        outer_stmts: List[Def] = []
+        init_exp = None
+        if g.init is not None:
+            # element j of the vector identity is the scalar identity
+            iv = fresh(template.result_type, "iv")
+            outer_stmts.append(Def((iv,), ArrayApply(g.init, j)))
+            init_exp = iv
+        inner = loop_def(s1, [reduce_gen(inner_value, scalar_r, cond=new_cond,
+                                         init=init_exp)], ["sred"])
+        outer_stmts.append(inner)
+        outer_value = Block((j,), tuple(outer_stmts), (inner.syms[0],))
+        new_loop = Def(d.syms, MultiLoop(s2, (collect(outer_value),)))
+        return prelude + [new_loop]
+
+
+def _match_vector_value(fv: Block) -> Optional[Tuple[Exp, Block, List[Def], Block]]:
+    """Recognize ``fv(i) = Collect_s2(j => f(i, j))``; return
+    (s2, inner value block, the ``other`` prefix statements, fv)."""
+    if len(fv.params) != 1:
+        return None
+    res = fv.result
+    if not isinstance(res, Sym):
+        return None
+    idx = def_index(fv)
+    ld = idx.get(res)
+    if ld is None:
+        return None
+    g = single_gen(ld)
+    if g is None or g.kind is not GenKind.COLLECT or g.cond is not None or g.flatten:
+        return None
+    # the inner collect's result must not be used elsewhere in fv
+    uses = 0
+    for st in fv.stmts:
+        for s in op_used_syms(st.op):
+            if s == res:
+                uses += 1
+    if uses:
+        return None
+    other = [st for st in fv.stmts if st is not ld]
+    return ld.op.size, g.value, other, fv
+
+
+def _fission_prefix(other: List[Def], fv: Block, vb: Block,
+                    s1: Exp) -> Tuple[List[Def], Block]:
+    """§3.2's loop fission: the ``other`` statements of ``fv`` (computed
+    once per outer element, e.g. LogReg's per-sample error ``y - h(x)``)
+    would be re-evaluated per inner element after the interchange.
+    Materialize them once as a top-level Collect of (tuples of) the values
+    the inner body consumes; return (prelude defs, template(i, j))."""
+    i0 = fv.params[0]
+    if not other:
+        template = Block((i0, vb.params[0]), vb.stmts, vb.results)
+        return [], refresh_block(template)
+    defined = {s for st in other for s in st.syms}
+    used = [s for s in sorted(defined, key=lambda x: x.id)
+            if any(s in op_used_syms(st.op) for st in vb.stmts)
+            or s in vb.results
+            or (isinstance(vb.results[0], Sym) and s == vb.results[0])]
+    if not used:
+        template = Block((i0, vb.params[0]), vb.stmts, vb.results)
+        return [], refresh_block(template)
+
+    # E = Collect_s1(i => (u1, u2, ...))
+    if len(used) == 1:
+        e_value = Block((i0,), tuple(other), (used[0],))
+        e_def = loop_def(s1, [collect(refresh_block(e_value), no_fuse=True)],
+                         ["fission"])
+        e_sym = e_def.syms[0]
+        i = fresh(T.INT, "ti")
+        j = fresh(T.INT, "tj")
+        u = fresh(used[0].tpe, used[0].name)
+        pre = [Def((u,), ArrayApply(e_sym, i))]
+        inner = refresh_block(Block((), vb.stmts, vb.results),
+                              {used[0]: u, i0: i, vb.params[0]: j})
+        template = Block((i, j), tuple(pre) + inner.stmts, inner.results)
+        return [e_def], template
+
+    st_t = T.tuple_type(*(u.tpe for u in used))
+    pk = fresh(st_t, "pack")
+    e_value = Block((i0,), tuple(other) + (Def((pk,), StructNew(st_t, tuple(used))),),
+                    (pk,))
+    e_def = loop_def(s1, [collect(refresh_block(e_value), no_fuse=True)],
+                     ["fission"])
+    e_sym = e_def.syms[0]
+    i = fresh(T.INT, "ti")
+    j = fresh(T.INT, "tj")
+    elem = fresh(st_t, "pk")
+    pre: List[Def] = [Def((elem,), ArrayApply(e_sym, i))]
+    env = {i0: i, vb.params[0]: j}
+    for pos, u in enumerate(used):
+        nu = fresh(u.tpe, u.name)
+        pre.append(Def((nu,), StructField(elem, f"_{pos}")))
+        env[u] = nu
+    inner = refresh_block(Block((), vb.stmts, vb.results), env)
+    template = Block((i, j), tuple(pre) + inner.stmts, inner.results)
+    return [e_def], template
+
+
+def _generic_vector_template(fv: Block) -> Tuple[List[Def], Exp, Block]:
+    """Fallback when ``fv``'s vector is not an explicit Collect (e.g. the
+    k-means value ``j => matrix(j)``): elementwise template
+    ``(i, j) => fv(i)(j)`` plus prelude defs deriving the vector width from
+    element 0 (all rows are assumed equal-length, as the paper's
+    ``iff size(a1) == size(b1) == s2`` side condition states)."""
+    prelude: List[Def] = []
+    v0 = inline_block(fv, [Const(0)], prelude)
+    s2 = fresh(T.INT, "s2")
+    prelude.append(Def((s2,), ArrayLength(v0)))
+
+    i = fresh(T.INT, "ti")
+    j = fresh(T.INT, "tj")
+    body: List[Def] = []
+    vec = inline_block(fv, [i], body)
+    v = fresh(T.element_type(fv.result_type), "v")
+    body.append(Def((v,), ArrayApply(vec, j)))
+    template = Block((i, j), tuple(body), (v,))
+    return prelude, s2, template
+
+
+def _vector_template(fv: Block, s1: Exp) -> Optional[Tuple[List[Def], Exp, Block]]:
+    """(prelude, s2, template) for either the explicit-Collect shape (with
+    loop fission of the per-outer-element prefix) or the generic
+    element-indexed fallback. None if fv isn't vector-valued."""
+    if not isinstance(fv.result_type, T.Coll):
+        return None
+    explicit = _match_vector_value(fv)
+    if explicit is not None:
+        s2, vb, other, fv_block = explicit
+        prelude, template = _fission_prefix(other, fv_block, vb, s1)
+        return prelude, s2, template
+    return _generic_vector_template(fv)
+
+
+class BucketRowToColumnReduce(Rule):
+    """R2C for vector-valued ``BucketReduce`` (k-means on GPUs, §3.2).
+
+    ::
+
+        H = BucketReduce_s1(c)(k)(fv)(rv)          # Coll values
+          -->  SS = Collect_s2(j => BucketReduce_s1(c)(k)(f_j)(r))
+               H  = keyed(keys(SS(0)), transpose(SS))
+    """
+
+    name = "bucket-row-to-column-reduce"
+
+    def apply_to(self, block: Block, pos: int) -> Optional[List[Def]]:
+        d = block.stmts[pos]
+        g = single_gen(d)
+        if g is None or g.kind is not GenKind.BUCKET_REDUCE:
+            return None
+        match = _vector_template(g.value, d.op.size)
+        if match is None:
+            return None
+        prelude, s2, template = match
+        if isinstance(s2, Sym) and s2 in locals_of(g.value):
+            return None
+        scalar_r = _match_vectorized_reducer(g.reducer)
+        if scalar_r is None:
+            return None
+        if g.init is not None:
+            return None
+
+        s1 = d.op.size
+        j = fresh(T.INT, "j")
+        ir = fresh(T.INT, "ir")
+        stmts: List[Def] = []
+        res = inline_block(template, [ir, j], stmts)
+        inner_value = Block((ir,), tuple(stmts), (res,))
+        inner = loop_def(
+            s1, [bucket_reduce(key=refresh_block(g.key), value=inner_value,
+                               reducer=scalar_r,
+                               cond=refresh_block(g.cond) if g.cond else None)],
+            ["sbred"])
+        outer_value = Block((j,), (inner,), (inner.syms[0],))
+        ss = loop_def(s2, [collect(outer_value)], ["ss"])
+        ss_sym = ss.syms[0]
+
+        # reassemble the keyed vector result: keys from column 0, values
+        # transposed back to one vector per key
+        first = fresh(T.element_type(ss_sym.tpe), "ss0")
+        first_def = Def((first,), ArrayApply(ss_sym, Const(0)))
+        ks = fresh(T.Coll(g.key_type), "ks")
+        ks_def = Def((ks,), BucketKeys(first))
+        nk = fresh(T.INT, "nk")
+        nk_def = Def((nk,), ArrayLength(ks))
+
+        p = fresh(T.INT, "p")
+        j2 = fresh(T.INT, "j2")
+        col = fresh(T.element_type(ss_sym.tpe), "col")
+        v = fresh(template.result_type, "v")
+        row_value = Block((j2,), (Def((col,), ArrayApply(ss_sym, j2)),
+                                  Def((v,), ArrayApply(col, p))), (v,))
+        row_loop = loop_def(s2, [collect(row_value)], ["row"])
+        vals_value = Block((p,), (row_loop,), (row_loop.syms[0],))
+        vals = loop_def(nk, [collect(vals_value)], ["vals"])
+
+        new_h = Def(d.syms, MakeKeyed(ks, vals.syms[0]))
+        return prelude + [ss, first_def, ks_def, nk_def, vals, new_h]

@@ -1,0 +1,201 @@
+"""Integration tests: every remaining benchmark application against a
+plain-Python oracle, uncompiled and fully compiled."""
+
+import pytest
+
+from repro.apps.gda import gda_oracle, gda_program
+from repro.apps.gene import gene_oracle, gene_program
+from repro.apps.gibbs import (gibbs_oracle_sweep, gibbs_sample,
+                              gibbs_sweep_program)
+from repro.apps.knn import knn_oracle, knn_program
+from repro.apps.naive_bayes import nb_oracle, nb_program
+from repro.core import run_program
+from repro.core.values import Buckets, deep_eq
+from repro.data.datasets import binary_labeled, gaussian_clusters
+from repro.data.factor_graphs import grid_ising, random_states, random_uniforms
+from repro.data.graphs import power_law_graph
+from repro.data.tpch_gen import generate_lineitems
+from repro.graph.optigraph import (pagerank_oracle, pagerank_pull_program,
+                                   pagerank_push_program, pagerank_run,
+                                   select_model, triangle_oracle,
+                                   triangle_program)
+from repro.pipeline import compile_program
+
+
+class TestGDA:
+    X, Y = binary_labeled(40, 3)
+    IN = {"x": X, "y": Y}
+
+    def test_uncompiled_matches_oracle(self):
+        (phi, mu, sigma), _ = run_program(gda_program(), self.IN)
+        ophi, omu, osigma = gda_oracle(self.X, self.Y)
+        assert deep_eq(phi, ophi) and deep_eq(mu, omu) and deep_eq(sigma, osigma)
+
+    def test_compiled_matches_oracle(self):
+        compiled = compile_program(gda_program(), "distributed")
+        (phi, mu, sigma), _ = compiled.run(self.IN)
+        ophi, omu, osigma = gda_oracle(self.X, self.Y)
+        assert deep_eq(phi, ophi) and deep_eq(mu, omu) and deep_eq(sigma, osigma)
+
+    def test_conditional_reduce_applies(self):
+        compiled = compile_program(gda_program(), "distributed")
+        assert "conditional-reduce" in compiled.report.applied_rules
+
+    def test_no_partitioning_warnings(self):
+        compiled = compile_program(gda_program(), "distributed")
+        assert compiled.warnings == []
+
+
+class TestGene:
+    ROWS = [(b % 50, b % 7, (b % 10) / 10.0, 1, b) for b in range(400)]
+
+    def test_uncompiled_matches_oracle(self):
+        (counts, qsums, gsums), _ = run_program(gene_program(),
+                                                {"reads": self.ROWS})
+        oc, oq, og = gene_oracle(self.ROWS)
+        assert dict(counts.items()) == oc
+        assert deep_eq(dict(qsums.items()), oq)
+        assert dict(gsums.items()) == og
+
+    def test_compiled_matches_oracle(self):
+        compiled = compile_program(gene_program(), "distributed")
+        (counts, qsums, gsums), _ = compiled.run({"reads": self.ROWS})
+        oc, oq, og = gene_oracle(self.ROWS)
+        assert dict(counts.items()) == oc
+        assert deep_eq(dict(qsums.items()), oq)
+
+    def test_soa_and_dfe_apply(self):
+        compiled = compile_program(gene_program(), "distributed")
+        assert "aos-to-soa" in compiled.report.applied_rules
+        from repro.core.ops import InputSource
+        labels = [d.op.label for d in compiled.program.body.stmts
+                  if isinstance(d.op, InputSource)]
+        # flowcell/position are never read: dead field elimination
+        assert "reads.flowcell" not in labels
+        assert "reads.position" not in labels
+
+
+class TestKnn:
+    TRAIN, LABELS = gaussian_clusters(60, 4, k=3)
+    QUERY = TRAIN[0]
+    IN = {"train": TRAIN, "labels": LABELS, "query": QUERY, "radius": 8.0}
+
+    def test_uncompiled_matches_oracle(self):
+        (label,), _ = run_program(knn_program(), self.IN)
+        assert label == knn_oracle(self.TRAIN, self.LABELS, self.QUERY, 8.0)
+
+    def test_compiled_matches_oracle(self):
+        compiled = compile_program(knn_program(), "distributed")
+        (label,), _ = compiled.run(self.IN)
+        assert label == knn_oracle(self.TRAIN, self.LABELS, self.QUERY, 8.0)
+
+
+class TestNaiveBayes:
+    X, Y = binary_labeled(30, 3)
+    IN = {"x": X, "y": Y, "num_classes": 2}
+
+    def test_uncompiled_matches_oracle(self):
+        (priors, means), _ = run_program(nb_program(), self.IN)
+        op, om = nb_oracle(self.X, self.Y, 2)
+        assert deep_eq(priors, op) and deep_eq(means, om)
+
+    def test_compiled_matches_oracle(self):
+        compiled = compile_program(nb_program(), "distributed")
+        (priors, means), _ = compiled.run(self.IN)
+        op, om = nb_oracle(self.X, self.Y, 2)
+        assert deep_eq(priors, op) and deep_eq(means, om)
+
+
+class TestPageRank:
+    G = power_law_graph(80, 3)
+    RANKS = [1.0] * 80
+    IN = {"adj": G.adj, "ranks": RANKS, "degrees": G.degrees()}
+
+    def test_pull_matches_oracle(self):
+        (out,), _ = run_program(pagerank_pull_program(), self.IN)
+        assert deep_eq(out, pagerank_oracle(self.G, self.RANKS))
+
+    def test_push_matches_pull(self):
+        (pull,), _ = run_program(pagerank_pull_program(), self.IN)
+        (push,), _ = run_program(pagerank_push_program(), self.IN)
+        assert deep_eq(pull, push)
+
+    def test_select_model(self):
+        # just the policy: cluster -> push, shared memory -> pull
+        from repro.core.multiloop import GenKind, MultiLoop
+        push = select_model("cluster")
+        kinds = [g.kind for d in push.body.stmts
+                 if isinstance(d.op, MultiLoop) for g in d.op.gens]
+        assert GenKind.BUCKET_REDUCE in kinds
+
+    def test_pull_compiles_with_remote_read_warning(self):
+        compiled = compile_program(pagerank_pull_program(), "distributed")
+        # neighbor reads are fundamentally data-dependent: the compiler
+        # falls back to runtime data movement and warns (§4.2)
+        assert compiled.warnings
+        (out,), _ = compiled.run(self.IN)
+        assert deep_eq(out, pagerank_oracle(self.G, self.RANKS))
+
+    def test_iterative_driver_converges(self):
+        ranks = pagerank_run(self.G, iterations=30)
+        nxt = pagerank_oracle(self.G, ranks)
+        assert deep_eq(ranks, nxt, tol=1e-3)
+
+
+class TestTriangles:
+    G = power_law_graph(60, 3)
+
+    def test_uncompiled_matches_oracle(self):
+        (count,), _ = run_program(triangle_program(), {"adj": self.G.adj})
+        assert count == triangle_oracle(self.G)
+
+    def test_compiled_matches_oracle(self):
+        compiled = compile_program(triangle_program(), "distributed")
+        (count,), _ = compiled.run({"adj": self.G.adj})
+        assert count == triangle_oracle(self.G)
+
+    def test_nonzero_triangles(self):
+        assert triangle_oracle(self.G) > 0
+
+
+class TestGibbs:
+    FG = grid_ising(5)
+
+    def test_sweep_matches_oracle(self):
+        states = random_states(self.FG.n_vars, 2, seed=1)
+        rand = random_uniforms(self.FG.n_vars, 2, seed=2)
+        (out,), _ = run_program(gibbs_sweep_program(), {
+            "nbr_vars": self.FG.nbr_vars, "nbr_weights": self.FG.nbr_weights,
+            "states": states, "rand": rand})
+        assert deep_eq(out, gibbs_oracle_sweep(self.FG, states, rand))
+
+    def test_compiled_sweep_matches_oracle(self):
+        compiled = compile_program(gibbs_sweep_program(), "distributed")
+        states = random_states(self.FG.n_vars, 2, seed=1)
+        rand = random_uniforms(self.FG.n_vars, 2, seed=2)
+        (out,), _ = compiled.run({
+            "nbr_vars": self.FG.nbr_vars, "nbr_weights": self.FG.nbr_weights,
+            "states": states, "rand": rand})
+        assert deep_eq(out, gibbs_oracle_sweep(self.FG, states, rand))
+
+    def test_marginals_in_range(self):
+        marg = gibbs_sample(self.FG, sweeps=4, replicas=2)
+        assert len(marg) == self.FG.n_vars
+        assert all(0.0 <= p <= 1.0 for p in marg)
+
+
+class TestDataGenerators:
+    def test_power_law_degree_skew(self):
+        g = power_law_graph(300, 3)
+        degs = sorted(g.degrees(), reverse=True)
+        assert degs[0] > 4 * (sum(degs) / len(degs))  # heavy head
+
+    def test_lineitem_group_mix(self):
+        rows = generate_lineitems(2000)
+        keys = {(r[5], r[6]) for r in rows}
+        assert len(keys) == 4  # the four Q1 groups
+
+    def test_grid_ising_shape(self):
+        fg = grid_ising(4)
+        assert fg.n_vars == 16
+        assert fg.n_factors == 2 * 4 * 3  # side*(side-1) horizontal+vertical

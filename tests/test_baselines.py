@@ -1,0 +1,151 @@
+"""Tests for the baseline frameworks: functional correctness against the
+same oracles as DMLL, plus the structural overheads they are supposed to
+exhibit."""
+
+import pytest
+
+from repro.apps.gda import gda_oracle
+from repro.apps.gibbs import gibbs_oracle_sweep
+from repro.apps.kmeans import kmeans_oracle
+from repro.apps.logreg import logreg_oracle
+from repro.apps.tpch import q1_oracle
+from repro.apps.gene import gene_oracle
+from repro.baselines import (DimmWittedEngine, PowerGraphEngine,
+                             SparkContext, powergraph_pagerank,
+                             powergraph_triangles, replication_factor)
+from repro.baselines.spark_apps import (spark_gda, spark_gene, spark_kmeans_iteration,
+                                        spark_logreg_iteration, spark_q1)
+from repro.core.values import deep_eq
+from repro.data.datasets import binary_labeled, gaussian_clusters, logistic_data
+from repro.data.factor_graphs import grid_ising, random_states, random_uniforms
+from repro.data.graphs import power_law_graph
+from repro.data.tpch_gen import generate_lineitems
+from repro.graph.optigraph import pagerank_oracle, triangle_oracle
+from repro.runtime import EC2_CLUSTER, NUMA_BOX
+
+
+class TestMiniSpark:
+    def test_kmeans_iteration_matches_oracle(self):
+        matrix, _ = gaussian_clusters(120, 5, k=3)
+        clusters = matrix[:3]
+        sc = SparkContext(EC2_CLUSTER)
+        points = sc.parallelize(matrix).cache()
+        new = spark_kmeans_iteration(sc, points, clusters)
+        assert deep_eq(new, kmeans_oracle(matrix, clusters))
+
+    def test_logreg_iteration_matches_oracle(self):
+        x, y = logistic_data(80, 4)
+        theta = [0.05] * 4
+        sc = SparkContext(EC2_CLUSTER)
+        data = sc.parallelize(list(zip(x, y))).cache()
+        new = spark_logreg_iteration(sc, data, theta, 0.1)
+        assert deep_eq(new, logreg_oracle(x, y, theta, 0.1))
+
+    def test_q1_matches_oracle(self):
+        rows = generate_lineitems(250)
+        sc = SparkContext(EC2_CLUSTER)
+        out = spark_q1(sc, sc.parallelize(rows))
+        assert deep_eq(out, q1_oracle(rows))
+
+    def test_gene_matches_oracle(self):
+        rows = [(b % 20, b % 5, (b % 10) / 10.0, 0, 0) for b in range(150)]
+        sc = SparkContext(EC2_CLUSTER)
+        out = spark_gene(sc, sc.parallelize(rows))
+        oc, oq, og = gene_oracle(rows)
+        assert deep_eq(out, {k: (oc[k], oq[k], og[k]) for k in oc})
+
+    def test_gda_matches_oracle(self):
+        x, y = binary_labeled(40, 3)
+        sc = SparkContext(EC2_CLUSTER)
+        phi, mu, sigma = spark_gda(sc, sc.parallelize(list(zip(x, y))), 3)
+        ophi, omu, osigma = gda_oracle(x, y)
+        assert deep_eq(phi, ophi) and deep_eq(mu, omu) and deep_eq(sigma, osigma)
+
+    def test_shuffle_bytes_accounted(self):
+        rows = generate_lineitems(200)
+        sc = SparkContext(EC2_CLUSTER)
+        spark_q1(sc, sc.parallelize(rows))
+        assert sc.stats.shuffle_bytes > 0
+        assert sc.stats.stages >= 1
+        assert sc.stats.sim_seconds > 0
+
+    def test_lazy_lineage_single_stage(self):
+        sc = SparkContext(EC2_CLUSTER)
+        rdd = sc.parallelize(range(100)).map(lambda x: x + 1) \
+                .filter(lambda x: x % 2 == 0).map(lambda x: x * 3)
+        before = sc.stats.stages
+        out = rdd.collect()
+        assert out == [(x + 1) * 3 for x in range(100) if (x + 1) % 2 == 0]
+        assert sc.stats.stages == before + 1  # narrow chain fused in a stage
+
+
+class TestMiniPowerGraph:
+    G = power_law_graph(100, 3)
+
+    def test_pagerank_matches_oracle(self):
+        eng = PowerGraphEngine(self.G, NUMA_BOX)
+        from repro.baselines.powergraph import PageRankProgram
+        ranks = eng.run(PageRankProgram(), 1)
+        assert deep_eq(ranks, pagerank_oracle(self.G, [1.0] * self.G.n))
+
+    def test_triangles_match_oracle(self):
+        count, stats = powergraph_triangles(self.G, NUMA_BOX)
+        assert count == triangle_oracle(self.G)
+        assert stats.sim_seconds > 0
+
+    def test_replication_factor_bounds(self):
+        r1 = replication_factor(self.G, 1)
+        r4 = replication_factor(self.G, 4)
+        assert r1 == 1.0
+        assert 1.0 < r4 <= 4.0
+
+    def test_cluster_run_charges_mirror_sync(self):
+        from repro.runtime import GPU_CLUSTER
+        _, stats = powergraph_pagerank(self.G, GPU_CLUSTER, 2)
+        assert stats.mirror_sync_bytes > 0
+
+
+class TestDimmWitted:
+    FG = grid_ising(5)
+
+    def test_sweep_matches_dmll_oracle(self):
+        eng = DimmWittedEngine(self.FG, NUMA_BOX)
+        states = random_states(self.FG.n_vars, 2, seed=1)
+        rand = random_uniforms(self.FG.n_vars, 2, seed=2)
+        out = eng.sweep(states, rand)
+        assert out == gibbs_oracle_sweep(self.FG, states, rand)
+
+    def test_socket_scaling_throughput(self):
+        """Fig. 8e's metric is sampling throughput: replicas multiply the
+        samples taken while sockets keep per-replica latency flat."""
+        tp = {}
+        for cores in (1, 12, 48):
+            eng = DimmWittedEngine(self.FG, NUMA_BOX, cores=cores,
+                                   scale=50_000.0)
+            eng.run(sweeps=3)
+            tp[cores] = (eng.stats.variable_samples
+                         / eng.stats.sim_seconds)
+        assert tp[1] < tp[12] < tp[48]
+        # near-linear across sockets: 4 sockets ≈ 4x one socket
+        assert tp[48] / tp[12] > 3.0
+
+    def test_marginals_shape(self):
+        eng = DimmWittedEngine(self.FG, NUMA_BOX, cores=12)
+        marg = eng.run(sweeps=4)
+        assert len(marg) == self.FG.n_vars
+        assert all(0.0 <= p <= 1.0 for p in marg)
+
+
+class TestHandOpt:
+    def test_costs_positive_and_scale(self):
+        from repro.baselines import handopt as H
+        small = H.kmeans_iteration(1000, 10, 4)
+        big = H.kmeans_iteration(10000, 10, 4)
+        assert 0 < small.cycles < big.cycles
+        assert small.seconds(NUMA_BOX) < big.seconds(NUMA_BOX)
+
+    def test_q1_hashmap_penalty(self):
+        from repro.baselines import handopt as H
+        c = H.tpch_q1(1000)
+        # the std::unordered_map probe dominates the per-row cost
+        assert c.cycles / 1000 > H.STD_HASHMAP_CYCLES

@@ -1,0 +1,217 @@
+"""Integration tests: every frontend pattern against a plain-Python oracle.
+
+These pin down the Fig. 2b semantics of each generator as exposed through
+the collections DSL.
+"""
+
+import pytest
+
+from repro import frontend as F
+from repro.core import run_program
+from repro.core import types as T
+from repro.core.values import Buckets, deep_eq
+
+
+def run1(fn, specs, inputs):
+    prog = F.build(fn, specs)
+    (result,), _ = run_program(prog, inputs)
+    return result
+
+
+def ints(label="xs", partitioned=False):
+    return F.InputSpec(label, T.Coll(T.INT), partitioned)
+
+
+def doubles(label="xs", partitioned=False):
+    return F.InputSpec(label, T.Coll(T.DOUBLE), partitioned)
+
+
+XS = [5, 2, 7, 4, 1, 9, 2]
+
+
+class TestCollect:
+    def test_map(self):
+        out = run1(lambda xs: xs.map(lambda x: x * x + 1), [ints()], {"xs": XS})
+        assert out == [x * x + 1 for x in XS]
+
+    def test_map_empty(self):
+        out = run1(lambda xs: xs.map(lambda x: x + 1), [ints()], {"xs": []})
+        assert out == []
+
+    def test_map_indices(self):
+        out = run1(lambda xs: xs.map_indices(lambda i: i * 2), [ints()], {"xs": XS})
+        assert out == [i * 2 for i in range(len(XS))]
+
+    def test_filter(self):
+        out = run1(lambda xs: xs.filter(lambda x: x > 3), [ints()], {"xs": XS})
+        assert out == [x for x in XS if x > 3]
+
+    def test_filter_indices(self):
+        out = run1(lambda xs: xs.filter_indices(lambda x: x == 2), [ints()], {"xs": XS})
+        assert out == [i for i, x in enumerate(XS) if x == 2]
+
+    def test_flat_map(self):
+        def fn(xs):
+            return xs.flat_map(lambda x: F.array_lit([x, x + 10], T.INT))
+        out = run1(fn, [ints()], {"xs": [1, 2]})
+        assert out == [1, 11, 2, 12]
+
+    def test_zip_with(self):
+        def fn(xs, ys):
+            return xs.zip_with(ys, lambda a, b: a * b)
+        prog = F.build(fn, [ints("xs"), ints("ys")])
+        (out,), _ = run_program(prog, {"xs": [1, 2, 3], "ys": [4, 5, 6]})
+        assert out == [4, 10, 18]
+
+    def test_chained_maps(self):
+        out = run1(lambda xs: xs.map(lambda x: x + 1).map(lambda x: x * 2),
+                   [ints()], {"xs": XS})
+        assert out == [(x + 1) * 2 for x in XS]
+
+
+class TestReduce:
+    def test_sum(self):
+        assert run1(lambda xs: xs.sum(), [ints()], {"xs": XS}) == sum(XS)
+
+    def test_sum_empty_returns_zero(self):
+        assert run1(lambda xs: xs.sum(), [ints()], {"xs": []}) == 0
+
+    def test_reduce_max(self):
+        out = run1(lambda xs: xs.reduce(lambda a, b: F.fmax(a, b)),
+                   [ints()], {"xs": XS})
+        assert out == max(XS)
+
+    def test_map_reduce(self):
+        out = run1(lambda xs: xs.map_reduce(lambda x: x * x, lambda a, b: a + b),
+                   [ints()], {"xs": XS})
+        assert out == sum(x * x for x in XS)
+
+    def test_count(self):
+        assert run1(lambda xs: xs.count(), [ints()], {"xs": XS}) == len(XS)
+
+    def test_min_index(self):
+        assert run1(lambda xs: xs.min_index(), [ints()], {"xs": XS}) == XS.index(min(XS))
+
+    def test_min_index_tie_takes_first(self):
+        assert run1(lambda xs: xs.min_index(), [ints()], {"xs": [3, 1, 1, 5]}) == 1
+
+    def test_vector_sum(self):
+        """Reducing collections — 'sum of vectors' from §3.2."""
+        m = F.InputSpec("m", T.Coll(T.Coll(T.DOUBLE)), False)
+        rows = [[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]
+        out = run1(lambda m: m.sum_rows(), [m], {"m": rows})
+        assert out == [9.0, 12.0]
+
+    def test_vector_sum_single_row(self):
+        m = F.InputSpec("m", T.Coll(T.Coll(T.DOUBLE)), False)
+        out = run1(lambda m: m.sum_rows(), [m], {"m": [[7.0, 8.0]]})
+        assert out == [7.0, 8.0]
+
+
+class TestBuckets:
+    def test_group_by(self):
+        out = run1(lambda xs: xs.group_by(lambda x: x % 3), [ints()], {"xs": XS})
+        assert isinstance(out, Buckets)
+        expected = {}
+        for x in XS:
+            expected.setdefault(x % 3, []).append(x)
+        assert dict(out.items()) == expected
+
+    def test_group_by_key_order_is_first_seen(self):
+        out = run1(lambda xs: xs.group_by(lambda x: x % 3), [ints()], {"xs": XS})
+        first_seen = list(dict.fromkeys(x % 3 for x in XS))
+        assert out.keys == first_seen == [2, 1, 0]
+
+    def test_group_by_value(self):
+        out = run1(lambda xs: xs.group_by_value(lambda x: x % 2, lambda x: x * 10),
+                   [ints()], {"xs": XS})
+        expected = {}
+        for x in XS:
+            expected.setdefault(x % 2, []).append(x * 10)
+        assert dict(out.items()) == expected
+
+    def test_group_by_reduce(self):
+        out = run1(lambda xs: xs.group_by_reduce(
+            lambda x: x % 3, lambda x: x, lambda a, b: a + b),
+            [ints()], {"xs": XS})
+        expected = {}
+        for x in XS:
+            expected[x % 3] = expected.get(x % 3, 0) + x
+        assert dict(out.items()) == expected
+
+    def test_bucket_map(self):
+        """groupBy(...).map(group => group.sum) — the §3.2 aggregation."""
+        def fn(xs):
+            return xs.group_by(lambda x: x % 3).map(lambda g: g.sum())
+        out = run1(fn, [ints()], {"xs": XS})
+        sums = {}
+        order = []
+        for x in XS:
+            k = x % 3
+            if k not in sums:
+                order.append(k)
+            sums[k] = sums.get(k, 0) + x
+        assert out == [sums[k] for k in order]
+
+    def test_bucket_lookup_missing_key_returns_zero(self):
+        def fn(xs):
+            grp = xs.group_by_reduce(lambda x: x, lambda x: x, lambda a, b: a + b)
+            return grp.lookup(99)
+        assert run1(fn, [ints()], {"xs": [1, 2]}) == 0
+
+    def test_bucket_keys(self):
+        def fn(xs):
+            return xs.group_by(lambda x: x % 2).keys()
+        assert run1(fn, [ints()], {"xs": [4, 3, 8]}) == [0, 1]
+
+
+class TestControl:
+    def test_where_value_branches(self):
+        out = run1(lambda xs: xs.map(lambda x: F.where(x > 3, x, -x)),
+                   [ints()], {"xs": XS})
+        assert out == [x if x > 3 else -x for x in XS]
+
+    def test_where_thunks_stage_lazily(self):
+        out = run1(lambda xs: xs.map(
+            lambda x: F.where(x > 3, lambda: x * 100, lambda: x)),
+            [ints()], {"xs": XS})
+        assert out == [x * 100 if x > 3 else x for x in XS]
+
+    def test_python_bool_coercion_raises(self):
+        with pytest.raises(Exception):
+            F.build(lambda xs: xs.map(lambda x: x + 1 if x > 2 else x),
+                    [ints()])
+
+
+class TestStructs:
+    def test_pair_and_fields(self):
+        def fn(xs):
+            return xs.map(lambda x: F.pair(x, x * 2).snd)
+        assert run1(fn, [ints()], {"xs": [1, 2]}) == [2, 4]
+
+    def test_struct_type_access(self):
+        pt = T.Struct("P", (("a", T.INT), ("b", T.INT)))
+        def fn(xs):
+            return xs.map(lambda x: F.struct(pt, a=x, b=x + 1).b)
+        assert run1(fn, [ints()], {"xs": [5]}) == [6]
+
+
+class TestNested:
+    def test_nested_loop_logreg_shape(self):
+        """Range(0,cols).map { j => Range(0,rows).sum { i => x(i)(j) } }"""
+        m = F.InputSpec("m", T.Coll(T.Coll(T.DOUBLE)), False)
+
+        def fn(m):
+            cols = m[0].length()
+            return F.irange(cols).map(
+                lambda j: m.map_reduce(lambda row: row[j], lambda a, b: a + b))
+
+        rows = [[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]
+        out = run1(fn, [m], {"m": rows})
+        assert out == [9.0, 12.0]
+
+    def test_math_functions(self):
+        import math
+        out = run1(lambda xs: xs.map(lambda x: F.fexp(x.to_double())),
+                   [ints()], {"xs": [0, 1]})
+        assert deep_eq(out, [1.0, math.e])

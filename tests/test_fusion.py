@@ -1,0 +1,213 @@
+"""Tests for pipeline (vertical) and horizontal fusion — structure changes
+plus semantic preservation on real inputs."""
+
+from repro import frontend as F
+from repro.core import run_program
+from repro.core import types as T
+from repro.core.multiloop import GenKind, MultiLoop
+from repro.core.values import deep_eq
+from repro.optim import cse, dce, fuse_horizontal, fuse_vertical
+
+
+def ints(label="xs"):
+    return F.InputSpec(label, T.Coll(T.INT), False)
+
+
+XS = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3]
+
+
+def top_loops(prog):
+    return [d for d in prog.body.stmts if isinstance(d.op, MultiLoop)]
+
+
+def optimize(prog):
+    return dce(fuse_vertical(cse(prog)))
+
+
+def run_both(fn, specs, inputs, opt=optimize):
+    prog = F.build(fn, specs)
+    before, _ = run_program(prog, inputs)
+    opt_prog = opt(prog)
+    after, _ = run_program(opt_prog, inputs)
+    assert deep_eq(before, after), f"fusion changed semantics: {before} vs {after}"
+    return prog, opt_prog
+
+
+class TestVerticalFusion:
+    def test_map_map_fuses_to_one_loop(self):
+        def fn(xs):
+            return xs.map(lambda x: x + 1).map(lambda x: x * 2)
+        prog, opt = run_both(fn, [ints()], {"xs": XS})
+        assert len(top_loops(prog)) == 2
+        assert len(top_loops(opt)) == 1
+
+    def test_map_reduce_fuses(self):
+        def fn(xs):
+            return xs.map(lambda x: x * x).sum()
+        prog, opt = run_both(fn, [ints()], {"xs": XS})
+        loops = top_loops(opt)
+        assert len(loops) == 1
+        assert loops[0].op.gens[0].kind is GenKind.REDUCE
+
+    def test_filter_reduce_fuses_with_condition(self):
+        def fn(xs):
+            return xs.filter(lambda x: x > 3).sum()
+        prog, opt = run_both(fn, [ints()], {"xs": XS})
+        loops = top_loops(opt)
+        assert len(loops) == 1
+        g = loops[0].op.gens[0]
+        assert g.kind is GenKind.REDUCE and g.cond is not None
+
+    def test_filter_filter_composes_conditions(self):
+        def fn(xs):
+            return xs.filter(lambda x: x > 1).filter(lambda x: x < 6)
+        prog, opt = run_both(fn, [ints()], {"xs": XS})
+        assert len(top_loops(opt)) == 1
+
+    def test_map_groupby_fuses(self):
+        def fn(xs):
+            return xs.map(lambda x: x * 3).group_by(lambda x: x % 2)
+        prog, opt = run_both(fn, [ints()], {"xs": XS})
+        loops = top_loops(opt)
+        assert len(loops) == 1
+        assert loops[0].op.gens[0].kind is GenKind.BUCKET_COLLECT
+
+    def test_long_chain_fuses_completely(self):
+        def fn(xs):
+            return (xs.map(lambda x: x + 1)
+                      .filter(lambda x: x % 2 == 0)
+                      .map(lambda x: x * x)
+                      .sum())
+        prog, opt = run_both(fn, [ints()], {"xs": XS})
+        assert len(top_loops(prog)) == 4
+        assert len(top_loops(opt)) == 1
+
+    def test_multi_consumer_keeps_producer(self):
+        def fn(xs):
+            m = xs.map(lambda x: x + 1)
+            return m.sum() + m.length()
+        prog, opt = run_both(fn, [ints()], {"xs": XS})
+        # producer must stay alive for the length() use
+        kinds = [g.kind for d in top_loops(opt) for g in d.op.gens]
+        assert GenKind.COLLECT in kinds
+
+    def test_zip_with_fuses_both_sides(self):
+        def fn(xs):
+            a = xs.map(lambda x: x + 1)
+            b = xs.map(lambda x: x * 2)
+            return a.zip_with(b, lambda p, q: p + q).sum()
+        prog, opt = run_both(fn, [ints()], {"xs": XS})
+        assert len(top_loops(opt)) <= 2
+
+    def test_flat_map_producer_not_fused(self):
+        def fn(xs):
+            return xs.flat_map(lambda x: F.array_lit([x, x], T.INT)).sum()
+        prog, opt = run_both(fn, [ints()], {"xs": XS})
+        # flatMap output size is data-dependent: consumer cannot be fused
+        assert len(top_loops(opt)) == 2
+
+    def test_fusion_inside_nested_bodies(self):
+        def fn(xs, ys):
+            return xs.map(lambda x: ys.map(lambda y: y * x).sum())
+        prog, opt = run_both(fn, [ints("xs"), ints("ys")],
+                             {"xs": XS, "ys": [1, 2, 3]})
+        # the inner map+sum must fuse into a single nested reduce
+        outer = top_loops(opt)[0]
+        inner_loops = [d for d in outer.op.gens[0].value.stmts
+                       if isinstance(d.op, MultiLoop)]
+        assert len(inner_loops) == 1
+        assert inner_loops[0].op.gens[0].kind is GenKind.REDUCE
+
+    def test_filter_indices_then_reduce(self):
+        """The k-means inner pattern: filter_indices + indexed reduce."""
+        def fn(xs):
+            idxs = xs.filter_indices(lambda x: x % 2 == 1)
+            return idxs.map(lambda i: xs[i]).sum()
+        prog, opt = run_both(fn, [ints()], {"xs": XS})
+        assert len(top_loops(opt)) == 1
+
+
+class TestFusionSoundness:
+    """Regression tests: fusing with a *filtering* producer changes the
+    index space, which must block any other use of the loop index."""
+
+    def test_sibling_read_at_compacted_index(self):
+        def fn(xs, ys):
+            evens = xs.filter(lambda x: x % 2 == 0)
+            # ys is read at the *compacted* index: fusing evens into this
+            # loop and re-running it over the raw range would be wrong
+            return evens.map_indices(lambda i: evens[i] * 10 + ys[i])
+        run_both(fn, [ints("xs"), ints("ys")],
+                 {"xs": XS, "ys": list(range(100, 100 + len(XS)))})
+
+    def test_index_used_directly(self):
+        def fn(xs):
+            evens = xs.filter(lambda x: x % 2 == 0)
+            return evens.map_indices(lambda i: evens[i] * 100 + i)
+        run_both(fn, [ints()], {"xs": XS})
+
+    def test_multi_column_filter_fuses_as_unit(self):
+        """Columns split from one filtering traversal share an index space
+        and may fuse together (the SoA + filter + groupBy pattern)."""
+        from repro.optim import code_motion
+        def fn(xs):
+            big = xs.filter(lambda x: x > 2)
+            a = big.map(lambda x: x + 1)
+            b = big.map(lambda x: x * 2)
+            return a.zip_with(b, lambda p, q: p + q).sum()
+        run_both(fn, [ints()], {"xs": XS},
+                 opt=lambda p: dce(fuse_vertical(code_motion(cse(p)))))
+
+    def test_size_only_use_of_filter(self):
+        def fn(xs):
+            evens = xs.filter(lambda x: x % 2 == 0)
+            # consumer ranges over len(evens) but reads something else
+            return F.irange(evens.length()).map(lambda i: i * 2)
+        run_both(fn, [ints()], {"xs": XS})
+
+
+class TestHorizontalFusion:
+    def test_two_reductions_merge(self):
+        def fn(xs):
+            return xs.sum() + xs.map_reduce(lambda x: 1, lambda a, b: a + b)
+        # CSE first so both loops share one length symbol (pipeline order)
+        prog = cse(F.build(fn, [ints()]))
+        opt = fuse_horizontal(prog)
+        merged = [d for d in top_loops(opt) if len(d.op.gens) == 2]
+        assert len(merged) == 1
+        (out,), _ = run_program(opt, {"xs": XS})
+        assert out == sum(XS) + len(XS)
+
+    def test_dependent_loops_do_not_merge(self):
+        def fn(xs):
+            m = xs.map(lambda x: x + 1)
+            # same range (len(xs) != len(m) symbolically) but dependent anyway
+            return m.map(lambda x: x * 2)
+        prog = fuse_horizontal(F.build(fn, [ints()]))
+        (out,), _ = run_program(prog, {"xs": XS})
+        assert out == [(x + 1) * 2 for x in XS]
+        assert all(len(d.op.gens) == 1 for d in top_loops(prog))
+
+    def test_three_way_merge(self):
+        def fn(xs):
+            a = xs.sum()
+            b = xs.map_reduce(lambda x: x * x, lambda p, q: p + q)
+            c = xs.map_reduce(lambda x: 1, lambda p, q: p + q)
+            return (a + b) + c
+        prog = fuse_horizontal(cse(F.build(fn, [ints()])))
+        merged = [d for d in top_loops(prog) if len(d.op.gens) == 3]
+        assert len(merged) == 1
+        (out,), _ = run_program(prog, {"xs": XS})
+        assert out == sum(XS) + sum(x * x for x in XS) + len(XS)
+
+    def test_full_pipeline_vertical_then_horizontal(self):
+        def fn(xs):
+            evens = xs.filter(lambda x: x % 2 == 0).sum()
+            odds = xs.filter(lambda x: x % 2 == 1).sum()
+            return evens + odds
+        prog = F.build(fn, [ints()])
+        opt = fuse_horizontal(dce(fuse_vertical(cse(prog))))
+        (out,), _ = run_program(opt, {"xs": XS})
+        assert out == sum(XS)
+        merged = [d for d in top_loops(opt) if len(d.op.gens) == 2]
+        assert len(merged) == 1  # single traversal computing both sums

@@ -1,0 +1,140 @@
+"""End-to-end compiler tests on the paper's running examples: the Fig. 1 →
+Fig. 4/5 k-means story and the §3.2 logistic-regression interchange."""
+
+import pytest
+
+from repro.analysis import DataLayout, Stencil, analyze_program
+from repro.apps.kmeans import (kmeans_grouped_program, kmeans_oracle,
+                               kmeans_shared_program)
+from repro.apps.logreg import logreg_oracle, logreg_program
+from repro.core import run_program
+from repro.core.multiloop import GenKind, MultiLoop
+from repro.core.values import deep_eq
+from repro.pipeline import compile_program, optimize
+
+MAT = [[1.0, 2.0], [8.0, 9.0], [1.2, 1.8], [7.5, 9.5], [0.8, 2.2], [8.2, 8.8]]
+CLUSTERS = [[1.0, 2.0], [8.0, 9.0]]
+INPUTS = {"matrix": MAT, "clusters": CLUSTERS}
+
+
+def top_loop_kinds(prog):
+    return [tuple(g.kind for g in d.op.gens)
+            for d in prog.body.stmts if isinstance(d.op, MultiLoop)]
+
+
+class TestKmeansShared:
+    def test_uncompiled_matches_oracle(self):
+        (out,), _ = run_program(kmeans_shared_program(), INPUTS)
+        assert deep_eq(out, kmeans_oracle(MAT, CLUSTERS))
+
+    def test_conditional_reduce_fires(self):
+        compiled = compile_program(kmeans_shared_program(), "distributed")
+        assert "conditional-reduce" in compiled.report.applied_rules
+
+    def test_compiled_matches_oracle(self):
+        compiled = compile_program(kmeans_shared_program(), "distributed")
+        (out,), _ = run_program(compiled.program, INPUTS)
+        assert deep_eq(out, kmeans_oracle(MAT, CLUSTERS))
+
+    def test_fig5_structure_single_traversal(self):
+        """After transformation + fusion, the sums and counts bucket-reduces
+        and the assignment map collapse into one traversal of the matrix."""
+        compiled = compile_program(kmeans_shared_program(), "distributed")
+        kinds = top_loop_kinds(compiled.program)
+        merged = [ks for ks in kinds if GenKind.BUCKET_REDUCE in ks]
+        assert merged, f"no bucket-reduce traversal found: {kinds}"
+        # both ss and cs live in one multiloop (horizontal fusion)
+        assert any(ks.count(GenKind.BUCKET_REDUCE) == 2 for ks in kinds), kinds
+
+    def test_no_warnings_after_transformation(self):
+        compiled = compile_program(kmeans_shared_program(), "distributed")
+        assert compiled.warnings == []
+
+    def test_matrix_partitioned_interval(self):
+        """Fig. 4/5: matrix stays partitioned and is only read at Interval
+        stencils after the rewrite."""
+        compiled = compile_program(kmeans_shared_program(), "distributed")
+        prog, report = compiled.program, compiled.report
+        matrix_sym = prog.inputs[0]
+        assert report.layout(matrix_sym) is DataLayout.PARTITIONED
+        for ls in compiled.stencils.values():
+            if matrix_sym in ls.reads:
+                assert ls.reads[matrix_sym] is Stencil.INTERVAL
+
+    def test_gpu_compile_matches_oracle(self):
+        compiled = compile_program(kmeans_shared_program(), "gpu")
+        (out,), _ = run_program(compiled.program, INPUTS)
+        assert deep_eq(out, kmeans_oracle(MAT, CLUSTERS))
+
+
+class TestKmeansGrouped:
+    def test_uncompiled_matches_oracle_by_key(self):
+        (out,), _ = run_program(kmeans_grouped_program(), INPUTS)
+        oracle = kmeans_oracle(MAT, CLUSTERS)
+        assert len(out) == 2
+        # grouped result is in first-seen order; compare as sets of vectors
+        assert sorted(map(tuple, out)) == sorted(map(tuple, oracle))
+
+    def test_groupby_reduce_fires(self):
+        compiled = compile_program(kmeans_grouped_program(), "distributed")
+        assert "groupby-reduce" in compiled.report.applied_rules
+
+    def test_compiled_matches_uncompiled(self):
+        plain, _ = run_program(kmeans_grouped_program(), INPUTS)
+        compiled = compile_program(kmeans_grouped_program(), "distributed")
+        opt, _ = run_program(compiled.program, INPUTS)
+        assert deep_eq(plain, opt)
+
+    def test_both_formulations_agree_after_compilation(self):
+        """§3.2: 'we end up with the exact same optimized code as the result
+        of applying the GroupBy-Reduce rule to the groupBy formulation'."""
+        a = compile_program(kmeans_shared_program(), "distributed")
+        b = compile_program(kmeans_grouped_program(), "distributed")
+        (ra,), _ = run_program(a.program, INPUTS)
+        (rb,), _ = run_program(b.program, INPUTS)
+        assert sorted(map(tuple, ra)) == sorted(map(tuple, rb))
+        # both end in a fused traversal with bucket reduces over the matrix
+        ka = [ks for ks in top_loop_kinds(a.program) if GenKind.BUCKET_REDUCE in ks]
+        kb = [ks for ks in top_loop_kinds(b.program) if GenKind.BUCKET_REDUCE in ks]
+        assert ka and kb
+
+
+class TestLogReg:
+    X = [[1.0, 2.0, 0.5], [0.5, 1.0, 1.5], [2.0, 0.2, 1.0], [1.5, 1.5, 0.1]]
+    Y = [1.0, 0.0, 1.0, 0.0]
+    IN = {"x": X, "y": Y, "theta": [0.1, -0.2, 0.3], "alpha": 0.1}
+
+    def test_uncompiled_matches_oracle(self):
+        (out,), _ = run_program(logreg_program(), self.IN)
+        assert deep_eq(out, logreg_oracle(self.X, self.Y,
+                                          self.IN["theta"], 0.1))
+
+    def test_column_to_row_fires(self):
+        compiled = compile_program(logreg_program(), "distributed")
+        assert "column-to-row-reduce" in compiled.report.applied_rules
+
+    def test_compiled_matches_oracle(self):
+        compiled = compile_program(logreg_program(), "distributed")
+        (out,), _ = run_program(compiled.program, self.IN)
+        assert deep_eq(out, logreg_oracle(self.X, self.Y,
+                                          self.IN["theta"], 0.1))
+
+    def test_x_read_interval_after_transform(self):
+        compiled = compile_program(logreg_program(), "distributed")
+        x_sym = compiled.program.inputs[0]
+        reads = [ls.reads[x_sym] for ls in compiled.stencils.values()
+                 if x_sym in ls.reads]
+        assert reads and all(s is Stencil.INTERVAL for s in reads)
+
+    def test_gpu_compile_matches_oracle(self):
+        compiled = compile_program(logreg_program(), "gpu")
+        (out,), _ = run_program(compiled.program, self.IN)
+        assert deep_eq(out, logreg_oracle(self.X, self.Y,
+                                          self.IN["theta"], 0.1))
+
+    def test_no_transform_flag_leaves_program_broadcasting(self):
+        compiled = compile_program(logreg_program(), "distributed",
+                                   apply_nested_transforms=False)
+        assert compiled.report.applied_rules == []
+        # without C2R the partitioned matrix is broadcast: a warning fires
+        assert compiled.warnings

@@ -1,0 +1,143 @@
+"""Unit tests for CSE, DCE, and code motion — including semantic
+preservation on executed programs."""
+
+from repro import frontend as F
+from repro.core import run_program
+from repro.core import types as T
+from repro.core.multiloop import MultiLoop
+from repro.core.values import deep_eq
+from repro.optim import code_motion, cse, dce
+
+
+def ints(label="xs"):
+    return F.InputSpec(label, T.Coll(T.INT), False)
+
+
+def n_loops(prog):
+    def count(block):
+        c = 0
+        for d in block.stmts:
+            if isinstance(d.op, MultiLoop):
+                c += 1
+            for b in d.op.blocks():
+                c += count(b)
+        return c
+    return count(prog.body)
+
+
+def n_stmts(prog):
+    def count(block):
+        c = len(block.stmts)
+        for d in block.stmts:
+            for b in d.op.blocks():
+                c += count(b)
+        return c
+    return count(prog.body)
+
+
+XS = [3, 1, 4, 1, 5, 9, 2, 6]
+
+
+def check_preserves(fn, specs, inputs, opt):
+    prog = F.build(fn, specs)
+    before, _ = run_program(prog, inputs)
+    after, _ = run_program(opt(prog), inputs)
+    assert deep_eq(before, after)
+
+
+class TestDCE:
+    def test_removes_unused_loop(self):
+        def fn(xs):
+            _dead = xs.map(lambda x: x * 2)
+            return xs.sum()
+        prog = F.build(fn, [ints()])
+        assert n_loops(prog) == 2
+        prog2 = dce(prog)
+        assert n_loops(prog2) == 1
+        (out,), _ = run_program(prog2, {"xs": XS})
+        assert out == sum(XS)
+
+    def test_keeps_inputs(self):
+        def fn(xs, ys):
+            return xs.sum()
+        prog = F.build(fn, [ints("xs"), ints("ys")])
+        prog2 = dce(prog)
+        present = {s for d in prog2.body.stmts for s in d.syms}
+        assert set(prog.inputs) <= present
+
+    def test_removes_dead_stmts_in_bodies(self):
+        def fn(xs):
+            def body(x):
+                _dead = x * 100
+                return x + 1
+            return xs.map(body)
+        prog = F.build(fn, [ints()])
+        prog2 = dce(prog)
+        assert n_stmts(prog2) < n_stmts(prog)
+        check_preserves(fn, [ints()], {"xs": XS}, dce)
+
+    def test_multi_output_def_kept_if_any_live(self):
+        # horizontal-fusion-style multi-output defs must survive DCE when
+        # only one output is used
+        from repro.optim import fuse_horizontal
+        def fn(xs):
+            a = xs.sum()
+            b = xs.map_reduce(lambda x: x * x, lambda p, q: p + q)
+            return a
+        prog = fuse_horizontal(F.build(fn, [ints()]))
+        prog2 = dce(prog)
+        (out,), _ = run_program(prog2, {"xs": XS})
+        assert out == sum(XS)
+
+
+class TestCSE:
+    def test_merges_identical_prims(self):
+        def fn(xs):
+            a = xs.length()
+            b = xs.length()
+            return a + b
+        prog = F.build(fn, [ints()])
+        prog2 = cse(prog)
+        lens = [d for d in prog2.body.stmts if d.op.op_name() == "ArrayLength"]
+        assert len(lens) == 1
+        (out,), _ = run_program(prog2, {"xs": XS})
+        assert out == 2 * len(XS)
+
+    def test_cse_inside_blocks(self):
+        def fn(xs):
+            return xs.map(lambda x: x * x + x * x)
+        prog = cse(F.build(fn, [ints()]))
+        (out,), _ = run_program(prog, {"xs": XS})
+        assert out == [2 * x * x for x in XS]
+
+    def test_cse_preserves_semantics(self):
+        def fn(xs):
+            return xs.map(lambda x: (x + 1) * (x + 1)).sum()
+        check_preserves(fn, [ints()], {"xs": XS}, cse)
+
+
+class TestCodeMotion:
+    def test_hoists_invariant_computation(self):
+        def fn(xs, ys):
+            # ys.sum() is invariant in the map body
+            return xs.map(lambda x: x + ys.sum())
+        prog = F.build(fn, [ints("xs"), ints("ys")])
+        assert len([d for d in prog.body.stmts if isinstance(d.op, MultiLoop)]) == 1
+        prog2 = code_motion(prog)
+        top_loops = [d for d in prog2.body.stmts if isinstance(d.op, MultiLoop)]
+        assert len(top_loops) == 2  # the inner sum is now at top level
+        (out,), _ = run_program(prog2, {"xs": XS, "ys": [1, 2, 3]})
+        assert out == [x + 6 for x in XS]
+
+    def test_does_not_hoist_dependent_code(self):
+        def fn(xs):
+            return xs.map(lambda x: x * 2 + 1)
+        prog = code_motion(F.build(fn, [ints()]))
+        (out,), _ = run_program(prog, {"xs": XS})
+        assert out == [x * 2 + 1 for x in XS]
+
+    def test_multilevel_hoist(self):
+        def fn(xs, ys):
+            return xs.map(lambda x: ys.map(lambda y: y + ys.sum()).sum() + x)
+        check_preserves(fn, [ints("xs"), ints("ys")],
+                        {"xs": XS, "ys": [1, 2]}, code_motion)

@@ -1,0 +1,161 @@
+"""Tests for the simulated runtime: directories, partitioned arrays with
+remote-read trapping, and the executor's scaling behavior."""
+
+import pytest
+
+from repro import frontend as F
+from repro.core import types as T
+from repro.core.values import deep_eq
+from repro.data.datasets import gaussian_clusters
+from repro.apps.kmeans import kmeans_oracle, kmeans_shared_program
+from repro.pipeline import compile_program
+from repro.runtime import (DELITE, DMLL_CPP, DMLL_PIN_ONLY, EC2_CLUSTER,
+                           GPU_CLUSTER, NUMA_BOX, SPARK, Directory,
+                           ExecOptions, PartitionedArray, simulate,
+                           set_reader_location)
+
+
+class TestDirectory:
+    def test_even_split(self):
+        d = Directory.even(10, 3)
+        assert d.ranges() == [(0, 4), (4, 7), (7, 10)]
+        assert sum(d.size_of(p) for p in range(3)) == 10
+
+    def test_owner(self):
+        d = Directory.even(10, 3)
+        assert d.owner(0) == 0
+        assert d.owner(3) == 0
+        assert d.owner(4) == 1
+        assert d.owner(9) == 2
+        with pytest.raises(IndexError):
+            d.owner(10)
+
+    def test_more_parts_than_elements(self):
+        d = Directory.even(2, 8)
+        assert d.num_partitions == 2
+
+    def test_empty(self):
+        d = Directory.even(0, 4)
+        assert d.num_partitions == 1
+        assert d.ranges() == [(0, 0)]
+
+
+class TestPartitionedArray:
+    def test_reads_without_context_are_untracked(self):
+        pa = PartitionedArray([1, 2, 3, 4], parts=2)
+        assert pa[0] == 1
+        assert pa.local_reads == 0 and pa.remote_reads == 0
+
+    def test_remote_read_trapping(self):
+        pa = PartitionedArray(list(range(8)), parts=2)
+        set_reader_location(0)
+        try:
+            assert pa[1] == 1    # local to partition 0
+            assert pa[6] == 6    # owned by partition 1 -> trapped
+        finally:
+            set_reader_location(None)
+        assert pa.local_reads == 1
+        assert pa.remote_reads == 1
+        assert pa.remote_bytes == 8
+
+    def test_local_chunk(self):
+        pa = PartitionedArray(list(range(10)), parts=3)
+        assert list(pa.local_chunk(0)) == [0, 1, 2, 3]
+
+    def test_interp_consumes_partitioned_array(self):
+        """The reference interpreter reads PartitionedArray unchanged."""
+        from repro.core import run_program
+        prog = F.build(lambda xs: xs.map(lambda x: x * 2).sum(),
+                       [F.InputSpec("xs", T.Coll(T.INT), True)])
+        pa = PartitionedArray([1, 2, 3, 4, 5], parts=2)
+        (out,), _ = run_program(prog, {"xs": pa})
+        assert out == 30
+
+
+@pytest.fixture(scope="module")
+def kmeans_sim():
+    matrix, _ = gaussian_clusters(600, 8, k=4)
+    clusters = matrix[:4]
+    compiled = compile_program(kmeans_shared_program(), "distributed")
+    inputs = {"matrix": matrix, "clusters": clusters}
+    return compiled, inputs, matrix, clusters
+
+
+class TestSimulator:
+    def test_results_are_functionally_correct(self, kmeans_sim):
+        compiled, inputs, matrix, clusters = kmeans_sim
+        res = simulate(compiled, inputs, NUMA_BOX, DMLL_CPP)
+        assert deep_eq(res.results[0], kmeans_oracle(matrix, clusters))
+
+    def test_time_is_positive_and_decomposed(self, kmeans_sim):
+        compiled, inputs, *_ = kmeans_sim
+        res = simulate(compiled, inputs, NUMA_BOX, DMLL_CPP)
+        assert res.total_seconds > 0
+        assert res.loops
+        assert abs(sum(l.time_s for l in res.loops) - res.total_seconds) < 1e-12
+
+    def test_more_cores_is_faster(self, kmeans_sim):
+        compiled, inputs, *_ = kmeans_sim
+        t = {}
+        for c in (1, 12, 48):
+            res = simulate(compiled, inputs, NUMA_BOX, DMLL_CPP,
+                           ExecOptions(cores=c, scale=800.0))
+            t[c] = res.total_seconds
+        assert t[1] > t[12] > t[48]
+
+    def test_sequential_option(self, kmeans_sim):
+        compiled, inputs, *_ = kmeans_sim
+        seq = simulate(compiled, inputs, NUMA_BOX, DMLL_CPP,
+                       ExecOptions(sequential=True, scale=800.0))
+        par = simulate(compiled, inputs, NUMA_BOX, DMLL_CPP,
+                       ExecOptions(scale=800.0))
+        assert seq.total_seconds > par.total_seconds
+
+    def test_numa_aware_beats_pin_only_at_four_sockets(self, kmeans_sim):
+        """Fig. 7: partitioning adds bandwidth beyond one socket."""
+        compiled, inputs, *_ = kmeans_sim
+        aware = simulate(compiled, inputs, NUMA_BOX, DMLL_CPP,
+                         ExecOptions(cores=48))
+        pin = simulate(compiled, inputs, NUMA_BOX, DMLL_PIN_ONLY,
+                       ExecOptions(cores=48))
+        assert aware.total_seconds <= pin.total_seconds
+
+    def test_spark_profile_is_slower(self, kmeans_sim):
+        compiled, inputs, *_ = kmeans_sim
+        dmll = simulate(compiled, inputs, NUMA_BOX, DMLL_CPP,
+                        ExecOptions(cores=48))
+        spark = simulate(compiled, inputs, NUMA_BOX, SPARK,
+                         ExecOptions(cores=48))
+        assert spark.total_seconds > 3 * dmll.total_seconds
+
+    def test_cluster_distribution_scales(self, kmeans_sim):
+        compiled, inputs, *_ = kmeans_sim
+        one = simulate(compiled, inputs, EC2_CLUSTER, DMLL_CPP,
+                       ExecOptions(cores=1, scale=800.0)).total_seconds
+        # 20 machines x 4 cores beats 1 core even with comm overheads
+        full = simulate(compiled, inputs, EC2_CLUSTER, DMLL_CPP,
+                        ExecOptions(scale=800.0)).total_seconds
+        assert full < one
+
+    def test_gpu_execution(self, kmeans_sim):
+        compiled, inputs, *_ = kmeans_sim
+        gpu = simulate(compiled, inputs, GPU_CLUSTER, DMLL_CPP,
+                       ExecOptions(use_gpu=True, gpu_transposed=True))
+        assert gpu.total_seconds > 0
+        assert deep_eq(gpu.results[0],
+                       simulate(compiled, inputs, GPU_CLUSTER,
+                                DMLL_CPP).results[0])
+
+    def test_gpu_transpose_helps(self, kmeans_sim):
+        compiled, inputs, *_ = kmeans_sim
+        plain = simulate(compiled, inputs, GPU_CLUSTER, DMLL_CPP,
+                         ExecOptions(use_gpu=True, gpu_transposed=False))
+        transposed = simulate(compiled, inputs, GPU_CLUSTER, DMLL_CPP,
+                              ExecOptions(use_gpu=True, gpu_transposed=True))
+        assert transposed.total_seconds < plain.total_seconds
+
+    def test_breakdown_renders(self, kmeans_sim):
+        compiled, inputs, *_ = kmeans_sim
+        res = simulate(compiled, inputs, NUMA_BOX, DMLL_CPP)
+        text = res.breakdown()
+        assert "total" in text and "ms" in text

@@ -1,0 +1,91 @@
+"""Coverage for the CLI inspector, the pretty printer, and end-to-end
+driver behaviors (iterative convergence) not covered elsewhere."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro import tools
+from repro.apps.kmeans import kmeans
+from repro.apps.logreg import logreg
+from repro.core import pretty
+from repro.data.datasets import gaussian_clusters, logistic_data
+
+
+def run_cli(*argv) -> str:
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        rc = tools.main(list(argv))
+    assert rc == 0
+    return buf.getvalue()
+
+
+class TestCli:
+    def test_list(self):
+        out = run_cli("--list")
+        assert "kmeans" in out and "pagerank" in out
+
+    def test_staged_ir(self):
+        out = run_cli("kmeans", "--stage", "staged")
+        assert "MultiLoop" in out and "BucketReduce" not in out
+
+    def test_compiled_ir_shows_transform(self):
+        out = run_cli("kmeans")
+        assert "BucketReduce" in out  # the Fig. 5 form
+
+    def test_report(self):
+        out = run_cli("q1", "--report")
+        assert "groupby-reduce" in out
+        assert "Partitioned" in out
+
+    def test_emit_backends(self):
+        assert "__global__" in run_cli("logreg", "--target", "gpu",
+                                       "--emit", "cuda")
+        assert "#include" in run_cli("gene", "--emit", "cpp")
+        assert "object" in run_cli("gene", "--emit", "scala")
+
+    def test_no_transforms_flag(self):
+        out = run_cli("kmeans", "--no-transforms", "--report")
+        assert "conditional-reduce" not in out
+
+    def test_unknown_app(self):
+        assert tools.main(["nope"]) == 2
+
+
+class TestPrettyPrinter:
+    def test_round_trips_structures(self):
+        from repro import frontend as F
+        from repro.core import types as T
+
+        def fn(xs):
+            g = xs.filter(lambda x: x > 0).group_by(lambda x: x % 2)
+            return g.map(lambda b: F.where(b.count() > 1,
+                                           lambda: b.sum(), lambda: 0))
+        prog = F.build(fn, [F.InputSpec("xs", T.Coll(T.INT), True)])
+        text = pretty(prog)
+        # all structural features render
+        for marker in ("BucketCollect", "cond", "value", "if", "then",
+                       "else", "return"):
+            assert marker in text, marker
+
+
+class TestIterativeDrivers:
+    def test_kmeans_converges_on_separated_clusters(self):
+        matrix, labels = gaussian_clusters(120, 4, k=3, spread=0.3)
+        centers = kmeans(matrix, k=3, iterations=8)
+        # every point should sit close to its assigned center
+        import math
+        for row in matrix[:30]:
+            best = min(sum((a - b) ** 2 for a, b in zip(row, c))
+                       for c in centers)
+            assert math.sqrt(best) < 3.0
+
+    def test_logreg_separates(self):
+        x, y = logistic_data(150, 4)
+        theta = logreg(x, y, alpha=0.3, iterations=25)
+        correct = 0
+        for xi, yi in zip(x, y):
+            score = sum(t * v for t, v in zip(theta, xi))
+            correct += int((score > 0) == (yi > 0.5))
+        assert correct / len(x) > 0.8

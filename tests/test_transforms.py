@@ -1,0 +1,285 @@
+"""Tests for the Fig. 3 nested pattern transformations.
+
+Each rule is exercised on the paper's own motivating program shapes
+(k-means, logistic regression, SQL-style aggregation) and checked for both
+*applicability* (the structure changes as Fig. 3 says) and *semantic
+preservation* (identical results on real data).
+"""
+
+import pytest
+
+from repro import frontend as F
+from repro.core import run_program
+from repro.core import types as T
+from repro.core.multiloop import GenKind, MultiLoop
+from repro.core.values import deep_eq
+from repro.optim import code_motion, cse, dce, fuse_vertical
+from repro.transforms import (BucketRowToColumnReduce, ColumnToRowReduce,
+                              ConditionalReduce, GroupByReduce,
+                              RowToColumnReduce, apply_rule_once)
+
+MAT = [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0], [1.5, 0.5, 2.5]]
+ASSIGN = [0, 1, 0, 1]
+
+
+def mat_input(label="m", partitioned=True):
+    return F.InputSpec(label, T.Coll(T.Coll(T.DOUBLE)), partitioned)
+
+
+def prep(prog):
+    """The standard phases that run before pattern transformation."""
+    return code_motion(dce(fuse_vertical(cse(prog))))
+
+
+def loop_kinds(prog):
+    out = []
+    for d in prog.body.stmts:
+        if isinstance(d.op, MultiLoop):
+            out.append(tuple(g.kind for g in d.op.gens))
+    return out
+
+
+def apply_at_top(prog, rule):
+    new_body = apply_rule_once(prog.body, rule)
+    if new_body is None:
+        return None
+    from repro.core.ir import Program
+    return Program(prog.inputs, new_body)
+
+
+class TestConditionalReduce:
+    def _kmeans_inner(self):
+        """The shared-memory k-means core (Fig. 1 top) reduced to its
+        essential shape: per-cluster conditional sums over the dataset."""
+        def fn(m, assigned):
+            k = 2
+            return F.irange(k).map(
+                lambda i: assigned.filter_indices(lambda a: a == i)
+                                  .map(lambda j: m[j])
+                                  .sum_rows())
+        return F.build(fn, [mat_input(), F.InputSpec("assigned", T.Coll(T.INT), True)])
+
+    def test_matches_after_fusion(self):
+        prog = prep(self._kmeans_inner())
+        out = apply_at_top(prog, ConditionalReduce())
+        assert out is not None, "Conditional Reduce did not match k-means"
+        kinds = loop_kinds(out)
+        assert (GenKind.BUCKET_REDUCE,) in kinds
+
+    def test_preserves_semantics(self):
+        prog = prep(self._kmeans_inner())
+        out = apply_at_top(prog, ConditionalReduce())
+        inputs = {"m": MAT, "assigned": ASSIGN}
+        before, _ = run_program(prog, inputs)
+        after, _ = run_program(dce(out), inputs)
+        assert deep_eq(before, after)
+        # oracle check
+        expect = []
+        for c in (0, 1):
+            rows = [MAT[j] for j in range(len(MAT)) if ASSIGN[j] == c]
+            expect.append([sum(col) for col in zip(*rows)])
+        assert deep_eq(before[0], expect)
+
+    def test_does_not_match_without_eq_condition(self):
+        def fn(m, assigned):
+            return F.irange(2).map(
+                lambda i: assigned.filter_indices(lambda a: a > i)
+                                  .map(lambda j: m[j])
+                                  .sum_rows())
+        prog = prep(F.build(fn, [mat_input(),
+                                 F.InputSpec("assigned", T.Coll(T.INT), True)]))
+        assert apply_at_top(prog, ConditionalReduce()) is None
+
+    def test_does_not_match_key_capturing_outer_index(self):
+        # predicate sides both depend on the inner index -> no match
+        def fn(xs):
+            return F.irange(3).map(
+                lambda i: xs.filter_indices(lambda x: x == x * 2).sum())
+        prog = prep(F.build(fn, [F.InputSpec("xs", T.Coll(T.INT), True)]))
+        assert apply_at_top(prog, ConditionalReduce()) is None
+
+    def test_scalar_conditional_sum(self):
+        """Counting variant: how many elements fall in each class."""
+        def fn(xs):
+            return F.irange(3).map(
+                lambda i: xs.filter_indices(lambda x: x % 3 == i)
+                            .map(lambda j: 1)
+                            .sum())
+        prog = prep(F.build(fn, [F.InputSpec("xs", T.Coll(T.INT), True)]))
+        out = apply_at_top(prog, ConditionalReduce())
+        assert out is not None
+        xs = [4, 7, 2, 9, 6, 1]
+        before, _ = run_program(prog, {"xs": xs})
+        after, _ = run_program(dce(out), {"xs": xs})
+        assert deep_eq(before, after)
+        assert before[0] == [sum(1 for x in xs if x % 3 == i) for i in range(3)]
+
+
+class TestGroupByReduce:
+    def _aggregation(self):
+        """§3.2's SQL aggregation: groupBy + per-group sum."""
+        def fn(items):
+            return items.group_by_value(lambda it: it % 4, lambda it: it) \
+                        .map(lambda g: g.sum())
+        return F.build(fn, [F.InputSpec("items", T.Coll(T.INT), True)])
+
+    def test_matches_and_produces_bucket_reduce(self):
+        prog = prep(self._aggregation())
+        out = apply_at_top(prog, GroupByReduce())
+        assert out is not None
+        kinds = loop_kinds(dce(out))
+        assert (GenKind.BUCKET_REDUCE,) in kinds
+        assert (GenKind.BUCKET_COLLECT,) not in kinds  # buckets eliminated
+
+    def test_preserves_semantics(self):
+        prog = prep(self._aggregation())
+        out = dce(apply_at_top(prog, GroupByReduce()))
+        items = [13, 7, 22, 9, 4, 18, 31, 2]
+        before, _ = run_program(prog, {"items": items})
+        after, _ = run_program(out, {"items": items})
+        assert deep_eq(before, after)
+
+    def test_average_uses_count_bucket(self):
+        """group average = sum/count: count becomes a BucketReduce of ones."""
+        def fn(items):
+            return items.group_by_value(lambda it: it % 3, lambda it: it) \
+                        .map(lambda g: g.sum().to_double() / g.count())
+        prog = prep(F.build(fn, [F.InputSpec("items", T.Coll(T.INT), True)]))
+        out = apply_at_top(prog, GroupByReduce())
+        assert out is not None
+        out = dce(out)
+        kinds = [k for ks in loop_kinds(out) for k in ks]
+        assert kinds.count(GenKind.BUCKET_REDUCE) == 2  # sum + count
+        items = [5, 9, 14, 3, 2, 8]
+        before, _ = run_program(prog, {"items": items})
+        after, _ = run_program(out, {"items": items})
+        assert deep_eq(before, after)
+
+    def test_no_match_when_bucket_escapes(self):
+        def fn(items):
+            # the group itself is the result — cannot eliminate buckets
+            return items.group_by(lambda it: it % 3).map(lambda g: g)
+        prog = prep(F.build(fn, [F.InputSpec("items", T.Coll(T.INT), True)]))
+        assert apply_at_top(prog, GroupByReduce()) is None
+
+    def test_vector_group_sums(self):
+        """k-means as written distributed-style (Fig. 1 bottom)."""
+        def fn(m, assigned):
+            grouped = m.map_indices(lambda i: i).group_by_value(
+                lambda i: assigned[i], lambda i: m[i])
+            return grouped.map(lambda g: g.sum_rows())
+        prog = prep(F.build(fn, [mat_input(),
+                                 F.InputSpec("assigned", T.Coll(T.INT), True)]))
+        out = apply_at_top(prog, GroupByReduce())
+        assert out is not None
+        inputs = {"m": MAT, "assigned": ASSIGN}
+        before, _ = run_program(prog, inputs)
+        after, _ = run_program(dce(out), inputs)
+        assert deep_eq(before, after)
+
+
+class TestColumnToRow:
+    def _logreg_gradient(self):
+        """The §3.2 logistic-regression shape (hyp simplified to a dot
+        product surrogate that keeps the access pattern)."""
+        def fn(x, y):
+            cols = x[0].length()
+            return F.irange(cols).map(
+                lambda j: x.length().to_double() * 0.0 + F.irange(x.length()).sum(
+                    lambda i: x[i][j] * (y[i] - x[i][0])))
+        return F.build(fn, [mat_input("x"),
+                            F.InputSpec("y", T.Coll(T.DOUBLE), True)])
+
+    def test_matches_and_vectorizes(self):
+        prog = prep(self._logreg_gradient())
+        out = apply_at_top(prog, ColumnToRowReduce())
+        assert out is not None
+        # a top-level Reduce over the rows now exists
+        kinds = loop_kinds(dce(out))
+        assert (GenKind.REDUCE,) in kinds
+
+    def test_preserves_semantics(self):
+        prog = prep(self._logreg_gradient())
+        out = dce(apply_at_top(prog, ColumnToRowReduce()))
+        y = [0.5, 1.5, -1.0, 2.0]
+        inputs = {"x": MAT, "y": y}
+        before, _ = run_program(prog, inputs)
+        after, _ = run_program(out, inputs)
+        assert deep_eq(before, after)
+        expect = [sum(MAT[i][j] * (y[i] - MAT[i][0]) for i in range(len(MAT)))
+                  for j in range(3)]
+        assert deep_eq(before[0], expect)
+
+    def test_empty_inner_domain_yields_zero_vector(self):
+        # zero rows: the transformed Reduce is empty and must fall back to
+        # its zeros-vector identity, matching the untransformed program
+        def fn(x, y, cols):
+            return F.irange(cols).map(
+                lambda j: F.irange(x.length()).sum(lambda i: x[i][j] * y[i]))
+        prog = prep(F.build(fn, [mat_input("x"),
+                                 F.InputSpec("y", T.Coll(T.DOUBLE), True),
+                                 F.scalar_input("cols", T.INT)]))
+        out = dce(apply_at_top(prog, ColumnToRowReduce()))
+        inputs = {"x": [], "y": [], "cols": 3}
+        before, _ = run_program(prog, inputs)
+        after, _ = run_program(out, inputs)
+        assert deep_eq(before, after)
+        assert before[0] == [0.0, 0.0, 0.0]
+
+
+class TestRowToColumn:
+    def test_inverts_column_to_row(self):
+        """Reversibility (§3.2): C2R then R2C preserves semantics."""
+        def fn(x, y):
+            cols = x[0].length()
+            return F.irange(cols).map(
+                lambda j: F.irange(x.length()).sum(lambda i: x[i][j] * y[i]))
+        prog = prep(F.build(fn, [mat_input("x"),
+                                 F.InputSpec("y", T.Coll(T.DOUBLE), True)]))
+        c2r = dce(apply_at_top(prog, ColumnToRowReduce()))
+        r2c = apply_at_top(c2r, RowToColumnReduce())
+        assert r2c is not None
+        y = [1.0, -2.0, 0.5, 3.0]
+        a, _ = run_program(prog, {"x": MAT, "y": y})
+        b, _ = run_program(c2r, {"x": MAT, "y": y})
+        c, _ = run_program(dce(r2c), {"x": MAT, "y": y})
+        assert deep_eq(a, b) and deep_eq(b, c)
+
+    def test_matches_direct_vector_reduce(self):
+        """sumRows is a vector Reduce as written — R2C via the generic
+        (element-indexed) template."""
+        def fn(m):
+            return m.sum_rows()
+        prog = prep(F.build(fn, [mat_input()]))
+        out = apply_at_top(prog, RowToColumnReduce())
+        assert out is not None
+        before, _ = run_program(prog, {"m": MAT})
+        after, _ = run_program(dce(out), {"m": MAT})
+        assert deep_eq(before, after)
+        assert deep_eq(before[0], [sum(c) for c in zip(*MAT)])
+
+
+class TestBucketRowToColumn:
+    def test_kmeans_bucket_sums_transpose(self):
+        """Vector-valued BucketReduce (k-means after Conditional Reduce)
+        becomes per-feature scalar BucketReduces."""
+        def fn(m, assigned):
+            idx = m.map_indices(lambda i: i)
+            return idx.group_by_reduce(
+                lambda i: assigned[i], lambda i: m[i],
+                lambda a, b: a.zip_with(b, lambda p, q: p + q))
+        prog = prep(F.build(fn, [mat_input(),
+                                 F.InputSpec("assigned", T.Coll(T.INT), True)]))
+        out = apply_at_top(prog, BucketRowToColumnReduce())
+        assert out is not None
+        inputs = {"m": MAT, "assigned": ASSIGN}
+        before, _ = run_program(prog, inputs)
+        after, _ = run_program(dce(out), inputs)
+        assert deep_eq(before, after)
+
+    def test_no_match_on_scalar_bucket_reduce(self):
+        def fn(xs):
+            return xs.group_by_reduce(lambda x: x % 2, lambda x: x,
+                                      lambda a, b: a + b)
+        prog = prep(F.build(fn, [F.InputSpec("xs", T.Coll(T.INT), True)]))
+        assert apply_at_top(prog, BucketRowToColumnReduce()) is None
