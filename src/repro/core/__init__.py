@@ -6,9 +6,11 @@ from .interp import ExecStats, Interp, LoopObserver, run_program
 from .ir import Block, Const, Def, Exp, Program, Sym, fresh
 from .multiloop import GenKind, Generator, MultiLoop
 from .pretty import pretty, pretty_block
+from .verify import IRVerificationError, verify_program
 
 __all__ = [
     "types", "ExecStats", "Interp", "LoopObserver", "run_program",
     "Block", "Const", "Def", "Exp", "Program", "Sym", "fresh",
     "GenKind", "Generator", "MultiLoop", "pretty", "pretty_block",
+    "IRVerificationError", "verify_program",
 ]

@@ -1,8 +1,15 @@
-"""Generic DMLL optimizations: fusion, CSE, DCE, code motion, AoS→SoA."""
+"""Generic DMLL optimizations: fusion, CSE, DCE, code motion, AoS→SoA.
+
+Every pass carries a stable ``pass_name`` attribute used by the
+PassManager trace (see ``repro.passes``).
+"""
 
 from .code_motion import code_motion
 from .cse import cse
 from .dce import dce
 from .fusion import fuse_horizontal, fuse_vertical
+from .length_rewrite import rewrite_lengths
+from .soa import aos_to_soa
 
-__all__ = ["code_motion", "cse", "dce", "fuse_horizontal", "fuse_vertical"]
+__all__ = ["code_motion", "cse", "dce", "fuse_horizontal", "fuse_vertical",
+           "rewrite_lengths", "aos_to_soa"]

@@ -54,3 +54,6 @@ def hoist_block(block: Block) -> Block:
 
 def code_motion(prog: Program) -> Program:
     return Program(prog.inputs, hoist_block(prog.body))
+
+
+code_motion.pass_name = "code-motion"

@@ -48,3 +48,6 @@ def _insert(seen: Dict[Op, Def], op: Op, d: Def) -> None:
 
 def cse(prog: Program) -> Program:
     return Program(prog.inputs, cse_block(prog.body))
+
+
+cse.pass_name = "cse"

@@ -381,3 +381,7 @@ def horizontal_block(block: Block) -> Block:
 
 def fuse_horizontal(prog: Program) -> Program:
     return Program(prog.inputs, horizontal_block(prog.body))
+
+
+fuse_vertical.pass_name = "fuse-vertical"
+fuse_horizontal.pass_name = "fuse-horizontal"

@@ -65,3 +65,6 @@ def _rewrite_block(block: Block) -> Block:
 
 def rewrite_lengths(prog: Program) -> Program:
     return Program(prog.inputs, _rewrite_block(prog.body))
+
+
+rewrite_lengths.pass_name = "rewrite-lengths"

@@ -211,6 +211,9 @@ def aos_to_soa(prog: Program, log: Optional[List[str]] = None) -> Program:
     return prog
 
 
+aos_to_soa.pass_name = "aos-to-soa"
+
+
 def soa_input_values(prog: Program, inputs: Dict[str, object]) -> Dict[str, object]:
     """Split user-supplied AoS input values into the column inputs an
     SoA-transformed program expects (labels ``table.field``).

@@ -8,32 +8,44 @@ Phase order (DESIGN.md §6)::
                  -> stencil-triggered Fig. 3 rewrites -> re-fuse
             -> [GPU] Row-to-Column Reduce (always, §3.2)
 
+Every phase is a named ``Pass`` executed through a ``PassManager``
+(``repro.passes``, DESIGN.md §6c): the manager verifies the IR after each
+pass when asked, records a ``PassTrace`` per pass, and collects every
+rewrite-rule application into one shared trace — ``report.applied_rules``
+is derived from that trace, so no phase can silently drop rule
+applications the way the old per-call ``applied_log`` threading did.
+
 ``compile_program`` returns a ``CompiledProgram`` bundling the optimized
-IR with the partitioning/stencil report that the runtime executor consumes.
+IR with the partitioning/stencil report that the runtime executor
+consumes, plus the pass trace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from .analysis.partitioning import (DataLayout, PartitionReport,
                                     partition_and_transform)
 from .analysis.stencil import LoopStencils, analyze_program
 from .core.ir import Program
-from .optim.code_motion import code_motion
-from .optim.cse import cse
-from .optim.dce import dce
-from .optim.fusion import fuse_horizontal, fuse_vertical
-from .optim.length_rewrite import rewrite_lengths
-from .optim.soa import aos_to_soa, soa_input_values
-from .transforms import GPU_RULES, apply_rules_everywhere
+from .optim.soa import soa_input_values
+from .passes import (Pass, PassManager, PassTrace, partition_pass, rule_pass,
+                     standard_passes)
+from .transforms import GPU_RULES, GroupByReduce
+
+#: default for the ``verify`` knob of ``optimize``/``compile_program``.
+#: Off in production (verification costs a full IR walk per pass); the
+#: test suite turns it on globally via ``tests/conftest.py`` so every
+#: compile in CI checks every pass boundary.
+DEFAULT_VERIFY = False
+
+_STD = standard_passes()
 
 
-def optimize(prog: Program, horizontal: bool = True,
-             groupby_reduce: bool = True,
-             applied_log: Optional[list] = None) -> Program:
-    """The target-independent optimization pipeline.
+def optimize_passes(horizontal: bool = True,
+                    groupby_reduce: bool = True) -> List[Pass]:
+    """The target-independent optimization phase as a named pass list.
 
     Horizontal fusion is deferrable (``horizontal=False``) because the
     Fig. 3 rules match single-generator loops: transforms run on the
@@ -43,23 +55,37 @@ def optimize(prog: Program, horizontal: bool = True,
     GroupBy-Reduce runs here (not only on stencil triggers) because it is
     always profitable: Table 2 applies it even for sequential CPU code.
     """
-    from .transforms import GroupByReduce
-    prog = cse(prog)
-    prog = fuse_vertical(prog)
-    prog = rewrite_lengths(prog)
-    prog = fuse_vertical(prog)
-    prog = dce(prog)
-    prog = code_motion(prog)
-    prog = cse(prog)
-    prog = fuse_vertical(prog)
+    ps = [_STD["cse"], _STD["fuse-vertical"], _STD["rewrite-lengths"],
+          _STD["fuse-vertical"], _STD["dce"], _STD["code-motion"],
+          _STD["cse"], _STD["fuse-vertical"]]
     if groupby_reduce:
-        prog = apply_rules_everywhere(prog, (GroupByReduce(),),
-                                      log=applied_log)
-        prog = fuse_vertical(prog)
-        prog = dce(prog)
+        ps += [rule_pass("groupby-reduce", (GroupByReduce(),)),
+               _STD["fuse-vertical"], _STD["dce"]]
     if horizontal:
-        prog = fuse_horizontal(prog)
-    prog = dce(prog)
+        ps.append(_STD["fuse-horizontal"])
+    ps.append(_STD["dce"])
+    return ps
+
+
+def optimize(prog: Program, horizontal: bool = True,
+             groupby_reduce: bool = True,
+             applied_log: Optional[list] = None,
+             pm: Optional[PassManager] = None,
+             phase: str = "optimize") -> Program:
+    """Run the target-independent optimization pipeline.
+
+    When no ``pm`` is given a fresh PassManager is created (honoring
+    ``DEFAULT_VERIFY``); passing one threads this phase into a larger
+    shared trace. ``applied_log`` is kept for backward compatibility and
+    receives the rule applications of *this call* — but unlike the old
+    implementation the applications are always in the trace too.
+    """
+    if pm is None:
+        pm = PassManager(verify=DEFAULT_VERIFY)
+    start = len(pm.traces)
+    prog = pm.run(prog, optimize_passes(horizontal, groupby_reduce), phase)
+    if applied_log is not None:
+        applied_log.extend(r for t in pm.traces[start:] for r in t.rules)
     return prog
 
 
@@ -71,6 +97,8 @@ class CompiledProgram:
     report: PartitionReport
     stencils: Dict[int, LoopStencils] = field(default_factory=dict)
     target: str = "cpu"
+    #: per-pass trace of the compilation (one entry per executed pass)
+    trace: List[PassTrace] = field(default_factory=list)
 
     @property
     def warnings(self):
@@ -89,45 +117,63 @@ class CompiledProgram:
 
 
 def compile_program(prog: Program, target: str = "cpu",
-                    apply_nested_transforms: bool = True) -> CompiledProgram:
+                    apply_nested_transforms: bool = True,
+                    verify: Optional[bool] = None,
+                    differential_inputs: Optional[Dict[str, object]] = None
+                    ) -> CompiledProgram:
     """Compile for ``target`` in {'cpu', 'distributed', 'gpu'}.
 
     ``apply_nested_transforms=False`` disables the Fig. 3 rewrites (used by
-    the ablation benchmarks that measure their impact)."""
+    the ablation benchmarks that measure their impact).
+
+    ``verify`` re-runs the structural IR verifier after every pass
+    (default: ``DEFAULT_VERIFY``). ``differential_inputs``, when given,
+    additionally re-interprets the program on those inputs after every
+    pass and raises ``PassSemanticsError`` naming the first pass whose
+    output diverges from the staged program's results.
+    """
     nt = apply_nested_transforms
-    applied: list = []
+    pm = PassManager(verify=DEFAULT_VERIFY if verify is None else verify,
+                     differential_inputs=differential_inputs)
     # SoA runs twice: once on raw inputs, and once after fusion has inlined
     # struct elements that previously escaped through filter/groupBy chains
-    prog = aos_to_soa(prog, log=applied)
+    prog = pm.run_pass(prog, _STD["aos-to-soa"], phase="soa")
     prog = optimize(prog, horizontal=False, groupby_reduce=nt,
-                    applied_log=applied)
-    prog = aos_to_soa(prog, log=applied)
-    prog = optimize(prog, horizontal=False, groupby_reduce=nt)
+                    pm=pm, phase="opt-1")
+    prog = pm.run_pass(prog, _STD["aos-to-soa"], phase="soa")
+    prog = optimize(prog, horizontal=False, groupby_reduce=nt,
+                    pm=pm, phase="opt-2")
 
     if target in ("distributed", "cpu") and nt:
-        prog, rep = partition_and_transform(prog)
-        applied.extend(rep.applied_rules)
-        prog = optimize(prog, horizontal=False)
+        prog = pm.run_pass(prog, partition_pass("partition"),
+                           phase="partition")
+        prog = optimize(prog, horizontal=False, pm=pm, phase="re-fuse")
 
     if target == "gpu" and nt:
         # distribute across the cluster first (C2R direction)...
-        prog, rep = partition_and_transform(prog)
-        applied.extend(rep.applied_rules)
+        prog = pm.run_pass(prog, partition_pass("partition"),
+                           phase="partition")
         # ...then invert for the device kernel (§3.2: always R2C on GPUs).
         # Code motion first (it exposes the loop-invariant prefix that
         # R2C's fission step materializes, e.g. LogReg's per-sample error),
         # but *no* fusion yet: the bucket keys must stay plain reads of
         # materialized values (the k-means assignment vector) so the
         # transposed per-column reductions share them between kernels.
-        prog = dce(cse(code_motion(prog)))
-        prog = apply_rules_everywhere(prog, GPU_RULES, log=applied)
-        prog = optimize(prog, horizontal=False)
+        prog = pm.run(prog, [_STD["code-motion"], _STD["cse"], _STD["dce"],
+                             rule_pass("gpu-rules", GPU_RULES)],
+                      phase="gpu")
+        prog = optimize(prog, horizontal=False, pm=pm, phase="re-fuse")
 
     # horizontal fusion merges the transformed traversals (Fig. 5)
-    prog = optimize(prog, horizontal=True, groupby_reduce=nt)
+    prog = optimize(prog, horizontal=True, groupby_reduce=nt,
+                    pm=pm, phase="finalize")
 
     # final analysis-only pass for the report (no rewriting)
-    prog, report = partition_and_transform(prog, rules=())
-    report.applied_rules = applied + report.applied_rules
+    reports: List[PartitionReport] = []
+    prog = pm.run_pass(prog, partition_pass("partition-report", rules=(),
+                                            reports=reports),
+                       phase="report")
+    report = reports[0]
+    report.applied_rules = pm.applied_rules()
     stencils = analyze_program(prog)
-    return CompiledProgram(prog, report, stencils, target)
+    return CompiledProgram(prog, report, stencils, target, pm.traces)

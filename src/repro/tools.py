@@ -1,5 +1,6 @@
 """Command-line inspector: dump a benchmark application's IR at any
-pipeline stage, its analyses, or its generated backend code.
+pipeline stage, its analyses, its generated backend code, or the
+per-pass compilation trace.
 
 Usage::
 
@@ -7,6 +8,8 @@ Usage::
     python -m repro.tools kmeans --stage staged  # as written
     python -m repro.tools logreg --target gpu --emit cuda
     python -m repro.tools q1 --report            # partitioning/stencils
+    python -m repro.tools kmeans --trace         # per-pass table
+    python -m repro.tools kmeans --verify-each   # verifier at every pass
     python -m repro.tools --list
 """
 
@@ -17,6 +20,7 @@ import sys
 
 from .analysis.stencil import Stencil
 from .core.pretty import pretty
+from .passes import trace_table
 from .pipeline import compile_program
 
 _APPS = {
@@ -35,6 +39,19 @@ _APPS = {
 }
 
 
+def _emit(prog, emit: str) -> str:
+    if emit == "ir":
+        return pretty(prog)
+    if emit == "cpp":
+        from .codegen import generate_cpp
+        return generate_cpp(prog)
+    if emit == "cuda":
+        from .codegen import generate_cuda
+        return generate_cuda(prog)
+    from .codegen import generate_scala
+    return generate_scala(prog)
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro.tools", description=__doc__)
     ap.add_argument("app", nargs="?", help="application name (see --list)")
@@ -47,6 +64,10 @@ def main(argv=None) -> int:
                     default="ir")
     ap.add_argument("--report", action="store_true",
                     help="print the partitioning/stencil report")
+    ap.add_argument("--trace", action="store_true",
+                    help="print the per-pass compilation trace")
+    ap.add_argument("--verify-each", action="store_true",
+                    help="run the structural IR verifier after every pass")
     ap.add_argument("--no-transforms", action="store_true",
                     help="disable the Fig. 3 nested pattern rules")
     args = ap.parse_args(argv)
@@ -60,11 +81,22 @@ def main(argv=None) -> int:
 
     prog = _APPS[args.app]()
     if args.stage == "staged":
-        print(pretty(prog))
+        if args.trace or args.verify_each:
+            print("--trace/--verify-each require compilation; "
+                  "drop --stage staged", file=sys.stderr)
+            return 2
+        print(_emit(prog, args.emit))
         return 0
 
     compiled = compile_program(prog, args.target,
-                               apply_nested_transforms=not args.no_transforms)
+                               apply_nested_transforms=not args.no_transforms,
+                               verify=args.verify_each)
+    if args.trace:
+        print(trace_table(compiled.trace))
+        total = sum(t.wall_ms for t in compiled.trace)
+        changed = sum(1 for t in compiled.trace if t.changed)
+        print(f"{len(compiled.trace)} passes, {changed} changed the "
+              f"program, {total:.2f} ms total")
     if args.report:
         print("applied rules:", compiled.report.applied_rules or "fusion only")
         for w in compiled.warnings:
@@ -75,18 +107,10 @@ def main(argv=None) -> int:
         for sym, layout in compiled.report.layouts.items():
             print(f"  {sym}: {layout.value}")
         return 0
+    if args.trace:
+        return 0
 
-    if args.emit == "ir":
-        print(pretty(compiled.program))
-    elif args.emit == "cpp":
-        from .codegen import generate_cpp
-        print(generate_cpp(compiled.program))
-    elif args.emit == "cuda":
-        from .codegen import generate_cuda
-        print(generate_cuda(compiled.program))
-    else:
-        from .codegen import generate_scala
-        print(generate_scala(compiled.program))
+    print(_emit(compiled.program, args.emit))
     return 0
 
 

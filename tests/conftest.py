@@ -1,0 +1,11 @@
+"""Test-suite-wide configuration.
+
+Per-pass IR verification is opt-in in production (``DEFAULT_VERIFY`` is
+False — it costs a full IR walk per pass) but on for the whole test
+suite: every ``compile_program``/``optimize`` call in any test checks
+the structural invariants at every pass boundary.
+"""
+
+import repro.pipeline as pipeline
+
+pipeline.DEFAULT_VERIFY = True

@@ -52,6 +52,35 @@ class TestCli:
     def test_unknown_app(self):
         assert tools.main(["nope"]) == 2
 
+    def test_staged_honors_emit(self):
+        """Regression: --stage staged used to silently ignore --emit and
+        always print IR."""
+        assert "#include" in run_cli("q1", "--stage", "staged",
+                                     "--emit", "cpp")
+        assert "__global__" in run_cli("kmeans", "--stage", "staged",
+                                       "--emit", "cuda")
+        assert "object" in run_cli("gene", "--stage", "staged",
+                                   "--emit", "scala")
+
+    def test_staged_rejects_trace_flags(self):
+        assert tools.main(["kmeans", "--stage", "staged", "--trace"]) == 2
+        assert tools.main(["kmeans", "--stage", "staged",
+                           "--verify-each"]) == 2
+
+    def test_trace_flag_prints_pass_table(self):
+        out = run_cli("kmeans", "--trace")
+        assert "fuse-vertical" in out and "aos-to-soa" in out
+        assert "passes," in out and "ms total" in out
+
+    def test_trace_combines_with_report(self):
+        out = run_cli("kmeans-grouped", "--report", "--trace")
+        assert "groupby-reduce" in out and "fuse-horizontal" in out
+
+    def test_verify_each_flag(self):
+        out = run_cli("logreg", "--verify-each", "--trace", "--target",
+                      "gpu")
+        assert "gpu-rules" in out
+
 
 class TestPrettyPrinter:
     def test_round_trips_structures(self):
