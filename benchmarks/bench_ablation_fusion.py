@@ -8,7 +8,7 @@ nested pattern transformations, and (c) with the full pipeline — plus the
 count of traversals (top-level loops) at each stage.
 """
 
-from conftest import emit, once
+from conftest import emit, emit_json, once, record_sim
 
 from repro.analysis.partitioning import partition_and_transform
 from repro.analysis.stencil import analyze_program
@@ -33,12 +33,12 @@ def loops_of(compiled) -> int:
                if isinstance(d.op, MultiLoop))
 
 
-def seconds(bundle, compiled) -> float:
+def seconds(bundle, compiled, stage) -> float:
     cap = capture_run(compiled, bundle.inputs)
     sim = Simulator(compiled, NUMA_BOX, DMLL_CPP,
                     ExecOptions(sequential=True, scale=bundle.scale,
                                 data_scale=bundle.data_scale)).price(cap)
-    return sim.total_seconds
+    return record_sim("ablation_fusion", f"{bundle.name}/{stage}", sim)
 
 
 def compute_ablation():
@@ -49,9 +49,9 @@ def compute_ablation():
         raw = raw_compiled(b)
         fused = b.compiled("plain")    # fusion, no Fig. 3 transforms
         full = b.compiled("opt")
-        t_raw = seconds(b, raw)
-        t_fused = seconds(b, fused)
-        t_full = seconds(b, full)
+        t_raw = seconds(b, raw, "raw")
+        t_fused = seconds(b, fused, "fused")
+        t_full = seconds(b, full, "full")
         gains[name] = (t_raw / t_fused, t_raw / t_full)
         rows.append([name,
                      f"{loops_of(raw)}", f"{loops_of(fused)}",
@@ -69,6 +69,7 @@ def test_ablation_fusion(benchmark):
         rows, title="Ablation: pipeline/horizontal fusion and the full "
                     "pipeline vs the unoptimized program (sequential)")
     emit("ablation_fusion", text)
+    emit_json("ablation_fusion")
 
     for name, (fusion_gain, full_gain) in gains.items():
         # fusion alone always helps, and never exceeds the full pipeline

@@ -14,7 +14,7 @@ socket and grows to ~3x on four (limited parallelism + cross-socket
 shuffling in the untransformed version).
 """
 
-from conftest import emit, once
+from conftest import emit, emit_json, once, record_sim
 
 from repro.bench import get_bundle
 from repro.report.tables import render_table
@@ -29,7 +29,9 @@ def gpu_seconds(bundle, variant, transposed):
                     ExecOptions(use_gpu=True, gpu_transposed=transposed,
                                 scale=bundle.scale,
                                 data_scale=bundle.data_scale)).price(cap)
-    return sim.total_seconds
+    return record_sim("fig6_gpu_transforms",
+                      f"{bundle.name}/{variant}/transposed={int(transposed)}",
+                      sim)
 
 
 def cpu_seconds(bundle, variant, cores):
@@ -37,7 +39,8 @@ def cpu_seconds(bundle, variant, cores):
     sim = Simulator(bundle.compiled(variant), NUMA_BOX, DMLL_CPP,
                     ExecOptions(cores=cores, scale=bundle.scale,
                                 data_scale=bundle.data_scale)).price(cap)
-    return sim.total_seconds
+    return record_sim("fig6_cpu_transforms",
+                      f"{bundle.name}/{variant}/cores={cores}", sim)
 
 
 def compute_gpu():
@@ -73,6 +76,7 @@ def test_fig6_gpu_transforms(benchmark):
                         rows, title="Figure 6 (left): GPU transformation "
                                     "speedups over non-transformed")
     emit("fig6_gpu_transforms", text)
+    emit_json("fig6_gpu_transforms")
 
     # both transformations combined always win
     for app in ("logreg", "kmeans"):
@@ -94,6 +98,7 @@ def test_fig6_cpu_transforms(benchmark):
                         title="Figure 6 (right): CPU transformation "
                               "speedups over non-transformed")
     emit("fig6_cpu_transforms", text)
+    emit_json("fig6_cpu_transforms")
 
     # Query 1 and LogReg benefit even within a single socket (§6: "always
     # beneficial for CPUs")

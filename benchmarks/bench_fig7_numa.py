@@ -9,7 +9,7 @@ GDA/LogReg/k-means (thread-local compute); Triangle Counting hides NUMA in
 the cache; every DMLL variant is far faster than Spark and PowerGraph.
 """
 
-from conftest import emit, once
+from conftest import emit, emit_json, once, record_sim
 
 from repro.baselines import SparkContext, powergraph_pagerank, powergraph_triangles
 from repro.baselines.spark_apps import (spark_gda, spark_gene,
@@ -40,7 +40,10 @@ def dmll_seconds(bundle, profile, cores, sequential=False):
                                 data_scale=bundle.data_scale,
                                 remote_read_cache_fraction=CACHE_FRACTION.get(
                                     bundle.name))).price(cap)
-    return sim.total_seconds
+    label = f"{bundle.name}/{profile.name}/cores={cores}"
+    if sequential:
+        label += "/seq"
+    return record_sim("fig7_numa", label, sim)
 
 
 def spark_seconds(name, cores):
@@ -117,6 +120,7 @@ def test_fig7_numa_scalability(benchmark):
                                         f"sequential DMLL)"))
     text = "\n\n".join(lines)
     emit("fig7_numa", text)
+    emit_json("fig7_numa")
 
     for name, rows in table.items():
         # DMLL scales monotonically with the core count

@@ -13,7 +13,7 @@ DMLL runs its JVM backend on EC2 ("to provide the most fair comparison
 with Spark") and the C++/CUDA backends on the GPU cluster.
 """
 
-from conftest import emit, once
+from conftest import emit, emit_json, once, record_sim
 
 from repro.baselines import SparkContext
 from repro.baselines.spark_apps import (spark_gda, spark_gene,
@@ -33,7 +33,9 @@ def dmll_seconds(bundle, cluster, profile, scale_mult=1.0, use_gpu=False):
                                 data_scale=bundle.data_scale * scale_mult,
                                 use_gpu=use_gpu,
                                 gpu_transposed=use_gpu)).price(cap)
-    return sim.total_seconds
+    return record_sim(
+        "fig8_cluster",
+        f"{bundle.name}/{cluster.name}/{profile.name}/x{scale_mult:g}", sim)
 
 
 def spark_seconds(name, cluster, scale_mult=1.0):
@@ -103,6 +105,7 @@ def compute_fig8c():
         dist = Simulator(b.compiled("opt"), GPU_CLUSTER, DMLL_CPP,
                          ExecOptions(scale=b.scale,
                                      data_scale=b.data_scale)).price(cap_opt)
+        record_sim("fig8_cluster", f"{name}/gpu-4/distribution", dist)
         comm = sum(l.comm_s for l in dist.loops)
         # each node's GPU kernel processes 1/nodes of the data
         frac = 1.0 / GPU_CLUSTER.nodes
@@ -113,6 +116,7 @@ def compute_fig8c():
                                        scale=b.scale * frac,
                                        data_scale=b.data_scale * frac)
                            ).price(cap_gpu)
+        record_sim("fig8_cluster", f"{name}/gpu-4/node-kernel", kernel)
         dm = kernel.total_seconds + comm
         sp = spark_seconds(name, GPU_CLUSTER)
         out[name] = sp / dm
@@ -138,6 +142,7 @@ def test_fig8a_cluster_compute_component(benchmark):
     emit("fig8a_cluster", render_table(
         ["App", "DMLL/Spark (EC2 compute)", "DMLL/Spark (NUMA box)"], rows,
         title="Figure 8a: 20-node EC2 cluster, compute component"))
+    emit_json("fig8_cluster")
     # DMLL wins, but by less than on the NUMA box (§6.2: "the performance
     # difference between DMLL and Spark is much smaller on this
     # configuration ... as each machine has very few resources")
@@ -153,6 +158,7 @@ def test_fig8b_cluster_iterative(benchmark):
     emit("fig8b_cluster_sizes", render_table(
         ["App", "Dataset", "DMLL speedup over Spark"], rows,
         title="Figure 8b: EC2 cluster, iterative apps at two sizes"))
+    emit_json("fig8_cluster")
     for app, sizes in speedups.items():
         for label, v in sizes.items():
             assert v > 1.0, (app, label, v)
@@ -164,6 +170,7 @@ def test_fig8c_gpu_cluster(benchmark):
     emit("fig8c_gpu_cluster", render_table(
         ["App", "DMLL-GPU speedup over Spark"], rows,
         title="Figure 8c: 4-node GPU cluster"))
+    emit_json("fig8_cluster")
     # §6.2: GDA "runs over 5x faster than Spark"; k-means 7.2x with the
     # transformations; higher-end nodes increase the gap vs Fig 8a
     assert speedups["gda"] > 3.0

@@ -9,7 +9,7 @@ primitives vs DimmWitted's pointer-linked factor graph; the GPU version
 is limited by random memory access into the factor graph.
 """
 
-from conftest import emit, once
+from conftest import emit, emit_json, once, record_sim
 
 from repro.baselines import DimmWittedEngine
 from repro.bench import get_bundle
@@ -27,7 +27,8 @@ def dmll_sweep_seconds(bundle, cores=None, use_gpu=False):
                     ExecOptions(cores=cores, sequential=(cores == 1),
                                 use_gpu=use_gpu, scale=bundle.scale,
                                 data_scale=bundle.scale)).price(cap)
-    return sim.total_seconds
+    label = "gibbs/gpu" if use_gpu else f"gibbs/cores={cores}"
+    return record_sim("fig8e_gibbs", label, sim)
 
 
 def compute_fig8e():
@@ -62,6 +63,7 @@ def test_fig8e_gibbs_sampling(benchmark):
     emit("fig8e_gibbs", render_table(
         ["Configuration", "speedup over sequential DimmWitted"], rows,
         title="Figure 8e: Gibbs sampling vs DimmWitted"))
+    emit_json("fig8e_gibbs")
 
     # DMLL over 2x faster sequentially (§6.3)
     assert sp["DMLL sequential"] > 1.8

@@ -8,7 +8,7 @@ communication") — and both are slower than the single NUMA machine, which
 is the paper's argument for big-memory boxes in graph analytics.
 """
 
-from conftest import emit, once
+from conftest import emit, emit_json, once, record_sim
 
 from repro.baselines import powergraph_pagerank, powergraph_triangles
 from repro.bench import get_bundle
@@ -30,6 +30,7 @@ def compute_fig8d():
     dmll_pr = Simulator(push, GPU_CLUSTER, DMLL_CPP,
                         ExecOptions(scale=pr.scale,
                                     data_scale=pr.data_scale)).price(cap)
+    record_sim("fig8d_graphs", "pagerank-push/gpu-4", dmll_pr)
     _, pg_pr = powergraph_pagerank(g, GPU_CLUSTER, 1, scale=pr.scale)
     out["pagerank"] = {"dmll": dmll_pr.total_seconds,
                        "powergraph": pg_pr.sim_seconds}
@@ -44,6 +45,7 @@ def compute_fig8d():
                                     data_scale=tg.data_scale,
                                     remote_read_cache_fraction=0.95)
                         ).price(cap_t)
+    record_sim("fig8d_graphs", "triangle/gpu-4", dmll_tg)
     _, pg_tg = powergraph_triangles(tg.graph, GPU_CLUSTER, scale=tg.scale)
     out["triangle"] = {"dmll": dmll_tg.total_seconds,
                        "powergraph": pg_tg.sim_seconds}
@@ -52,6 +54,7 @@ def compute_fig8d():
     numa_pr = Simulator(pr.compiled("opt"), NUMA_BOX, DMLL_CPP,
                         ExecOptions(scale=pr.scale, data_scale=pr.data_scale,
                                     )).price(pr.capture("opt"))
+    record_sim("fig8d_graphs", "pagerank-pull/numa-4x12", numa_pr)
     out["pagerank"]["dmll_numa_box"] = numa_pr.total_seconds
     return out
 
@@ -68,6 +71,7 @@ def test_fig8d_graph_cluster(benchmark):
     emit("fig8d_graphs", render_table(
         ["App", "DMLL", "PowerGraph", "DMLL speedup"], rows,
         title="Figure 8d: graph apps on the 4-node cluster vs PowerGraph"))
+    emit_json("fig8d_graphs")
 
     # comparable overall performance (§6.2: "the computation portion runs
     # faster in DMLL ... largely overshadowed by the communication")

@@ -5,7 +5,7 @@ Paper shape: DMLL within ~25% of hand-optimized everywhere, and *faster*
 on Query 1 (the generated hash map beats std::unordered_map).
 """
 
-from conftest import emit, once
+from conftest import emit, emit_json, once, record_sim
 
 from repro.baselines import handopt as H
 from repro.bench import PAPER_SIZES, get_bundle
@@ -37,7 +37,7 @@ def dmll_sequential_seconds(name: str) -> float:
     sim = Simulator(b.compiled("opt"), NUMA_BOX, DMLL_CPP,
                     ExecOptions(sequential=True, scale=b.scale,
                                 data_scale=b.data_scale)).price(cap)
-    return sim.total_seconds
+    return record_sim("table2_sequential", f"{name}/sequential", sim)
 
 
 def compute_table2():
@@ -64,6 +64,7 @@ def test_table2_sequential_baseline(benchmark):
          "DMLL", "C++", "delta", "paper delta"],
         rows, title="Table 2: sequential performance vs hand-optimized C++")
     emit("table2_sequential", text)
+    emit_json("table2_sequential")
 
     # shape: within ~35% of hand-optimized for every application...
     for name, d in deltas.items():

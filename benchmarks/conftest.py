@@ -9,15 +9,50 @@ simulated times on the machine models — see EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: per-loop breakdowns accumulated by ``record_sim`` during a sweep,
+#: keyed by results-file name; ``emit_json`` flushes one file's worth
+_BREAKDOWNS: dict = {}
 
 
 def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print("\n" + text)
+
+
+def sim_breakdown(sim) -> dict:
+    """JSON-able per-loop time split of one priced run."""
+    return {
+        "total_seconds": sim.total_seconds,
+        "loops": [
+            {"loop": ls.name, "op": ls.op_name, "iters": ls.iters,
+             "workers": ls.workers, "time_s": ls.time_s,
+             "compute_s": ls.compute_s, "memory_s": ls.memory_s,
+             "comm_s": ls.comm_s, "overhead_s": ls.overhead_s}
+            for ls in sim.loops
+        ],
+    }
+
+
+def record_sim(name: str, label: str, sim) -> float:
+    """Stash ``sim``'s per-loop breakdown under ``label`` for the results
+    file ``name`` and return the headline time (seconds)."""
+    _BREAKDOWNS.setdefault(name, {})[label] = sim_breakdown(sim)
+    return sim.total_seconds
+
+
+def emit_json(name: str) -> None:
+    """Write every breakdown recorded so far for ``name`` next to the
+    headline ``.txt`` results file."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(_BREAKDOWNS.get(name, {}), indent=2, sort_keys=True)
+        + "\n")
 
 
 def once(benchmark, fn):

@@ -21,6 +21,7 @@ from ..core import types as T
 from ..core.ir import Block, Def, Program, Sym, def_index, op_used_syms
 from ..core.multiloop import GenKind, MultiLoop
 from ..core.ops import ArrayLength, BucketKeys, InputSource
+from ..obs.diagnostics import DiagCategory, Diagnostic
 from ..transforms import DISTRIBUTION_RULES, Rule
 from .stencil import LoopStencils, Stencil, analyze_loop
 
@@ -52,8 +53,24 @@ class LoopDistInfo:
 class PartitionReport:
     layouts: Dict[Sym, DataLayout] = field(default_factory=dict)
     loops: Dict[int, LoopDistInfo] = field(default_factory=dict)
-    warnings: List[str] = field(default_factory=list)
+    #: typed, loop-attributed events (repro.diagnostics); the historical
+    #: ``warnings`` string list is derived from these
+    diagnostics: List[Diagnostic] = field(default_factory=list)
     applied_rules: List[str] = field(default_factory=list)
+
+    @property
+    def warnings(self) -> List[str]:
+        """Backward-compatible view: the messages of warning-severity
+        diagnostics, verbatim."""
+        return [d.message for d in self.diagnostics
+                if d.severity == "warning"]
+
+    def diagnose(self, category: DiagCategory, message: str,
+                 loop: Optional[str] = None, severity: str = "warning",
+                 **data) -> None:
+        self.diagnostics.append(
+            Diagnostic(category, message, loop=loop, severity=severity,
+                       data=data))
 
     def layout(self, s: Sym) -> DataLayout:
         return self.layouts.get(s, DataLayout.LOCAL)
@@ -120,11 +137,15 @@ def partition_and_transform(
             bad = [s for s in part_inputs
                    if ls.reads.get(s, Stencil.ALL) in (Stencil.UNKNOWN,
                                                        Stencil.ALL)]
-            report.warnings.append(
+            report.diagnose(
+                DiagCategory.UNKNOWN_STENCIL_FALLBACK,
                 f"loop {d.syms[0]!r}: partitioned {', '.join(map(repr, bad))} "
                 f"accessed with stencil "
                 f"{[ls.reads.get(s, Stencil.ALL).value for s in bad]}; "
-                f"falling back to runtime data movement / replication")
+                f"falling back to runtime data movement / replication",
+                loop=d.syms[0].name,
+                collections=[str(s) for s in bad],
+                stencils=[ls.reads.get(s, Stencil.ALL).value for s in bad])
 
         _record_loop(d, ls, part_inputs, report)
         pos += 1
@@ -202,8 +223,10 @@ def _visit_sequential(d: Def, report: PartitionReport) -> None:
     if _const_index_read(d):
         part = []  # a Const-stencil element read: broadcast one element
     if part and not isinstance(d.op, _WHITELIST):
-        report.warnings.append(
+        report.diagnose(
+            DiagCategory.SEQUENTIAL_PARTITIONED,
             f"sequential op {d.op.op_name()} consumes partitioned "
-            f"{', '.join(map(repr, part))}; it must run at a single location")
+            f"{', '.join(map(repr, part))}; it must run at a single location",
+            op=d.op.op_name(), collections=[str(s) for s in part])
     for s in d.syms:
         report.layouts[s] = DataLayout.LOCAL

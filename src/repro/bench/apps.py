@@ -84,6 +84,24 @@ class AppBundle:
                                                   self.inputs)
         return self._captures[variant]
 
+    def simulate(self, variant: str = "opt", cluster=None, profile=None,
+                 **opt_kwargs):
+        """Price this bundle's cached capture on a machine/profile combo.
+
+        Extra keyword arguments land on ``ExecOptions`` — including the
+        observability knobs (``tracer=``, ``metrics=``), which is how the
+        CLI profiler attaches to a bundle run. ``scale``/``data_scale``
+        default to the bundle's own factors."""
+        from ..runtime.executor import ExecOptions, Simulator
+        from ..runtime.machine import DMLL_CPP, NUMA_BOX
+        opt_kwargs.setdefault("scale", self.scale)
+        opt_kwargs.setdefault("data_scale", self.data_scale)
+        sim = Simulator(self.compiled(variant),
+                        NUMA_BOX if cluster is None else cluster,
+                        DMLL_CPP if profile is None else profile,
+                        ExecOptions(**opt_kwargs))
+        return sim.price(self.capture(variant))
+
 
 def _kmeans_bundle() -> AppBundle:
     matrix, _ = gaussian_clusters(800, 20, k=8)

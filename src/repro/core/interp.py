@@ -88,6 +88,31 @@ class LoopObserver:
         pass
 
 
+class MultiObserver(LoopObserver):
+    """Fans every hook out to several observers — lets the executor's
+    per-iteration cost collector coexist with user-supplied hooks (e.g.
+    ``repro.obs.MetricsObserver``) on one functional run."""
+
+    def __init__(self, *observers: Optional[LoopObserver]):
+        self.observers = tuple(o for o in observers if o is not None)
+
+    def on_loop_start(self, d: Def, size: int) -> None:
+        for o in self.observers:
+            o.on_loop_start(d, size)
+
+    def on_iteration(self, d: Def, i: int) -> None:
+        for o in self.observers:
+            o.on_iteration(d, i)
+
+    def on_iteration_cost(self, d: Def, i: int, cycles: float) -> None:
+        for o in self.observers:
+            o.on_iteration_cost(d, i, cycles)
+
+    def on_loop_end(self, d: Def) -> None:
+        for o in self.observers:
+            o.on_loop_end(d)
+
+
 class InterpError(Exception):
     pass
 

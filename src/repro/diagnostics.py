@@ -1,0 +1,10 @@
+"""Structured diagnostics event stream — alias for :mod:`repro.obs.diagnostics`.
+
+Importing ``repro.diagnostics`` is the documented spelling for consumers
+of the typed event stream; the implementation lives inside the
+observability package.
+"""
+
+from .obs.diagnostics import DiagCategory, Diagnostic
+
+__all__ = ["DiagCategory", "Diagnostic"]

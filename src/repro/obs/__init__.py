@@ -1,0 +1,31 @@
+"""Runtime observability (DESIGN.md §6d).
+
+Three cooperating pieces make the simulated runtime inspectable:
+
+- **spans** — every priced execution can produce a hierarchical span tree
+  (run → loop → machine → socket/GPU chunk) whose attributes expose the
+  mapping decisions (§4-§5) behind each number;
+- **metrics** — counters/gauges/histograms fed by the executor, the
+  distributed-array runtime, and the interpreter;
+- **diagnostics** — typed, loop-attributed events that replace the bare
+  warning strings the partitioning analysis used to emit;
+- **export** — a text profile report and Chrome-trace JSON
+  (``chrome://tracing`` / Perfetto), validated by ``repro.obs.check``.
+
+Everything is opt-in: with no tracer/registry configured the executor
+allocates no spans and emits nothing.
+"""
+
+from .diagnostics import DiagCategory, Diagnostic
+from .metrics import MetricsObserver, MetricsRegistry
+from .spans import Span, Tracer
+from .export import (chrome_trace_events, profile_report, render_spans,
+                     write_chrome_trace)
+
+__all__ = [
+    "DiagCategory", "Diagnostic",
+    "MetricsObserver", "MetricsRegistry",
+    "Span", "Tracer",
+    "chrome_trace_events", "profile_report", "render_spans",
+    "write_chrome_trace",
+]

@@ -1,0 +1,91 @@
+"""Chrome-trace validator: ``python -m repro.obs.check t.json [...]``.
+
+Checks the structural invariants a trace viewer relies on — the file is
+valid JSON, events carry the required keys, complete ("X") events have
+non-negative numeric ``ts``/``dur``, timestamps are monotonically
+non-decreasing per track, and child intervals do not escape the root run
+span. Exit status 0 when every file passes, 1 otherwise. Used by CI on
+the traces emitted for every bundled app.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+
+def validate_events(events: List[dict]) -> List[str]:
+    """Return a list of violations (empty = valid)."""
+    errors: List[str] = []
+    xs = [e for e in events if e.get("ph") == "X"]
+    if not xs:
+        errors.append("no complete ('X') events")
+        return errors
+    last_ts: dict = {}
+    run_end = None
+    for i, e in enumerate(xs):
+        name = e.get("name")
+        if not name or not isinstance(name, str):
+            errors.append(f"event {i}: missing/invalid name")
+        ts, dur = e.get("ts"), e.get("dur")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"event {i} ({name}): bad ts {ts!r}")
+            continue
+        if not isinstance(dur, (int, float)) or dur < 0:
+            errors.append(f"event {i} ({name}): bad dur {dur!r}")
+            continue
+        key = (e.get("pid"), e.get("tid"))
+        if ts < last_ts.get(key, 0.0):
+            errors.append(f"event {i} ({name}): ts {ts} goes backwards "
+                          f"on track {key}")
+        last_ts[key] = ts
+        if e.get("cat") == "run":
+            run_end = ts + dur
+    if run_end is not None:
+        for i, e in enumerate(xs):
+            if (isinstance(e.get("ts"), (int, float))
+                    and isinstance(e.get("dur"), (int, float))
+                    and e["ts"] + e["dur"] > run_end + 1.0):  # 1us tolerance
+                errors.append(f"event {i} ({e.get('name')}): interval ends "
+                              f"after the run span")
+    return errors
+
+
+def validate_file(path: str) -> List[str]:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load: {exc}"]
+    events = doc.get("traceEvents") if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        return ["neither a JSON array nor an object with 'traceEvents'"]
+    return validate_events(events)
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: python -m repro.obs.check TRACE.json [...]",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv:
+        errors = validate_file(path)
+        if errors:
+            failed = True
+            print(f"{path}: INVALID")
+            for e in errors:
+                print(f"  - {e}")
+        else:
+            with open(path) as f:
+                doc = json.load(f)
+            events = doc.get("traceEvents") if isinstance(doc, dict) else doc
+            n = sum(1 for e in events if e.get("ph") == "X")
+            print(f"{path}: ok ({n} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

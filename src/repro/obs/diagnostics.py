@@ -1,0 +1,52 @@
+"""Typed compiler/runtime diagnostics.
+
+The paper mandates one observability hook structurally ("falling back to
+runtime data movement **with a warning**", §4.1). The partitioning
+analysis used to record that as a bare string; a ``Diagnostic`` keeps the
+same human-readable message but adds a stable category, the loop symbol
+it concerns, a severity, and free-form structured data — so tooling can
+filter events without parsing prose. The old ``warnings`` string list
+survives as a derived view (``PartitionReport.warnings``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class DiagCategory(enum.Enum):
+    """Stable event taxonomy (DESIGN.md §6d)."""
+
+    #: a partitioned collection is accessed data-dependently and no Fig. 3
+    #: rule removed the Unknown stencil — runtime movement/replication
+    UNKNOWN_STENCIL_FALLBACK = "unknown-stencil-fallback"
+    #: a sequential (non-loop) op consumes partitioned data and must run
+    #: at a single location
+    SEQUENTIAL_PARTITIONED = "sequential-partitioned"
+    #: a GPU kernel reduces a vector-typed accumulator (temporaries exceed
+    #: shared memory; Row-to-Column Reduce was not applicable / disabled)
+    CUDA_VECTOR_REDUCE = "cuda-vector-reduce"
+    #: the §4.2 replicate-vs-move policy chose full replication
+    REPLICATION = "replication"
+    #: the §4.2 policy chose dynamic remote fetches
+    REMOTE_FETCH = "remote-fetch"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One typed, loop-attributed event."""
+
+    category: DiagCategory
+    message: str
+    loop: Optional[str] = None       # name of the loop symbol it concerns
+    severity: str = "warning"        # "warning" | "info"
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return self.message
+
+    def render(self) -> str:
+        where = f" loop={self.loop}" if self.loop else ""
+        return f"[{self.category.value}{where}] {self.message}"

@@ -1,0 +1,124 @@
+"""Exporters: text profile report and Chrome-trace JSON.
+
+The profile report is the data behind Figs. 6/7/8 for any single run: a
+per-loop table sorted by simulated time with the compute/memory/comm/
+overhead split and each loop's share of the total.
+
+The Chrome-trace exporter emits the `Trace Event Format`_ consumed by
+``chrome://tracing`` and Perfetto (https://ui.perfetto.dev): complete
+("X") events with microsecond timestamps, one track (pid/tid) per
+simulated machine, plus metadata events naming the tracks.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Union
+
+from ..report.tables import render_table
+from .spans import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..runtime.executor import SimResult
+
+_US = 1e6  # simulated seconds -> trace microseconds
+
+
+# ---------------------------------------------------------------------------
+# text profile report
+# ---------------------------------------------------------------------------
+
+def profile_report(sim: "SimResult", title: str = "") -> str:
+    """Per-loop breakdown table, sorted by time, with % of total."""
+    total = sim.total_seconds or 1e-30
+    rows = []
+    for l in sorted(sim.loops, key=lambda l: l.time_s, reverse=True):
+        rows.append([
+            l.name, l.op_name, l.iters, l.workers,
+            f"{l.time_s * 1e3:10.3f}", f"{100.0 * l.time_s / total:5.1f}%",
+            f"{l.compute_s * 1e3:.3f}", f"{l.memory_s * 1e3:.3f}",
+            f"{l.comm_s * 1e3:.3f}", f"{l.overhead_s * 1e3:.3f}",
+        ])
+    rows.append(["TOTAL", "", "", "",
+                 f"{sim.total_seconds * 1e3:10.3f}", "100.0%", "", "", "", ""])
+    return render_table(
+        ["loop", "op", "iters", "W", "time ms", "%",
+         "compute", "memory", "comm", "overhead"],
+        rows, title=title or "profile (simulated time, sorted by cost)")
+
+
+def render_spans(root: Span) -> str:
+    """Indented one-line-per-span view of a span tree (debug aid)."""
+    lines = []
+    for sp, depth in root.walk():
+        lines.append(f"{'  ' * depth}{sp.kind}:{sp.name} "
+                     f"@{sp.start_s * 1e3:.3f}ms +{sp.dur_s * 1e3:.3f}ms")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace
+# ---------------------------------------------------------------------------
+
+def _clean_args(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON-safe copy of span attributes."""
+    out: Dict[str, Any] = {}
+    for k, v in attrs.items():
+        if isinstance(v, (str, int, float, bool)) or v is None:
+            out[k] = v
+        elif isinstance(v, dict):
+            out[k] = {str(kk): str(vv) for kk, vv in v.items()}
+        elif isinstance(v, (list, tuple)):
+            out[k] = [str(x) for x in v]
+        else:
+            out[k] = str(v)
+    return out
+
+
+def _tid_of(sp: Span) -> int:
+    """Track assignment: the run/loop timeline is tid 0; each simulated
+    machine gets its own tid so its chunks nest under its loop row in the
+    viewer."""
+    m = sp.attrs.get("machine")
+    return 0 if m is None else int(m) + 1
+
+
+def chrome_trace_events(source: Union[Tracer, Span]) -> List[dict]:
+    """Flatten span tree(s) into Chrome trace events (``ph: "X"``)."""
+    roots: Iterable[Span]
+    roots = source.runs if isinstance(source, Tracer) else [source]
+    events: List[dict] = []
+    tids = {0}
+    for root in roots:
+        for sp, _depth in root.walk():
+            tid = _tid_of(sp)
+            tids.add(tid)
+            events.append({
+                "name": sp.name,
+                "cat": sp.kind,
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": round(sp.start_s * _US, 3),
+                "dur": round(sp.dur_s * _US, 3),
+                "args": _clean_args(sp.attrs),
+            })
+    meta = [{"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "dmll simulated run"}}]
+    for tid in sorted(tids):
+        label = "timeline" if tid == 0 else f"machine {tid - 1}"
+        meta.append({"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                     "args": {"name": label}})
+    return meta + events
+
+
+def write_chrome_trace(path: str, source: Union[Tracer, Span]) -> None:
+    """Write a ``{"traceEvents": [...]}`` JSON file loadable in Perfetto."""
+    doc = {"traceEvents": chrome_trace_events(source),
+           "displayTimeUnit": "ms"}
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")

@@ -1,0 +1,114 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+Fed by the executor (pricing decisions: replication vs dynamic fetches,
+broadcast/shuffle volumes, per-loop seconds), by the distributed-array
+runtime (remote-read traps, directory lookups — see
+``repro.runtime.distarray.set_metrics``), and by the interpreter through
+``MetricsObserver``.
+
+Labels follow the Prometheus convention of being folded into the series
+key: ``inc("executor.remote_fetch_bytes", n, loop="x12")`` records under
+``executor.remote_fetch_bytes{loop=x12}``. Everything is in-process and
+deterministic — the registry is a dict, not a server.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.interp import Def, LoopObserver
+
+
+def _series(name: str, labels: Dict[str, Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Counters (monotonic), gauges (last value), histograms (all values)."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, List[float]] = {}
+
+    # -- write side -----------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        key = _series(name, labels)
+        self.counters[key] = self.counters.get(key, 0.0) + value
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        self.gauges[_series(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        self.histograms.setdefault(_series(name, labels), []).append(value)
+
+    # -- read side ------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> float:
+        return self.counters.get(_series(name, labels), 0.0)
+
+    def histogram_stats(self, name: str, **labels: Any) -> Dict[str, float]:
+        vals = self.histograms.get(_series(name, labels), [])
+        if not vals:
+            return {"count": 0}
+        s = sorted(vals)
+        return {"count": len(s), "min": s[0], "max": s[-1],
+                "mean": sum(s) / len(s), "p50": s[len(s) // 2]}
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: self.histogram_stats_of(v)
+                           for k, v in self.histograms.items()},
+        }
+
+    @staticmethod
+    def histogram_stats_of(vals: List[float]) -> Dict[str, float]:
+        if not vals:
+            return {"count": 0}
+        s = sorted(vals)
+        return {"count": len(s), "min": s[0], "max": s[-1],
+                "mean": sum(s) / len(s), "p50": s[len(s) // 2]}
+
+    def render(self) -> str:
+        """Plain-text dump, one series per line, grouped by type."""
+        lines: List[str] = []
+        for title, table in (("counters", self.counters),
+                             ("gauges", self.gauges)):
+            if table:
+                lines.append(f"{title}:")
+                for k in sorted(table):
+                    lines.append(f"  {k:<52} {table[k]:g}")
+        if self.histograms:
+            lines.append("histograms:")
+            for k in sorted(self.histograms):
+                st = self.histogram_stats_of(self.histograms[k])
+                lines.append(
+                    f"  {k:<52} n={st['count']} min={st['min']:.3g} "
+                    f"mean={st['mean']:.3g} max={st['max']:.3g}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+class MetricsObserver(LoopObserver):
+    """Interpreter hook feeding loop execution counts into a registry."""
+
+    def __init__(self, metrics: MetricsRegistry):
+        self.metrics = metrics
+
+    def on_loop_start(self, d: Def, size: int) -> None:
+        self.metrics.inc("interp.loops_started")
+        self.metrics.inc("interp.iterations", size,
+                         loop=d.syms[0].name)
+
+    def on_loop_end(self, d: Def) -> None:
+        self.metrics.inc("interp.loops_finished")

@@ -1,0 +1,84 @@
+"""Hierarchical spans over *simulated* time.
+
+A span covers a half-open interval ``[start_s, start_s + dur_s)`` of the
+simulated clock and carries structured attributes. The executor builds
+one tree per priced run: run → statement/loop → machine → socket or GPU
+chunk — the §5 execution hierarchy made visible.
+
+Spans are plain data on purpose: the executor computes every duration
+analytically, so there is no enter/exit bracketing to get wrong, and the
+exporters (``repro.obs.export``) can walk the tree without any runtime
+state. Tracing is strictly opt-in — when ``ExecOptions.tracer`` is unset
+the executor never allocates a span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class Span:
+    """One node of the span tree."""
+
+    name: str
+    kind: str                    # "run" | "loop" | "machine" | "socket" | "gpu"
+    start_s: float
+    dur_s: float = 0.0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.dur_s
+
+    def child(self, name: str, kind: str, start_s: float,
+              dur_s: float = 0.0, **attrs: Any) -> "Span":
+        sp = Span(name, kind, start_s, dur_s, attrs)
+        self.children.append(sp)
+        return sp
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple["Span", int]]:
+        """Depth-first (pre-order) traversal: yields (span, depth)."""
+        yield self, depth
+        for c in self.children:
+            yield from c.walk(depth + 1)
+
+    def contains(self, other: "Span", tol: float = 1e-9) -> bool:
+        """Does this span's interval cover ``other``'s (within ``tol``)?"""
+        return (other.start_s >= self.start_s - tol
+                and other.end_s <= self.end_s + tol)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.kind}:{self.name} @{self.start_s:.6f}"
+                f"+{self.dur_s:.6f}, {len(self.children)} children)")
+
+
+class Tracer:
+    """Collects span trees, one root per priced run.
+
+    ``enabled`` is the single guard the executor checks before doing any
+    observability work; flip it off (or simply pass no tracer) for
+    zero-cost runs.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.runs: List[Span] = []
+
+    def begin_run(self, name: str, **attrs: Any) -> Span:
+        root = Span(name, "run", 0.0, 0.0, dict(attrs))
+        self.runs.append(root)
+        return root
+
+    @property
+    def last_run(self) -> Optional[Span]:
+        return self.runs[-1] if self.runs else None
+
+    def clear(self) -> None:
+        self.runs.clear()

@@ -28,7 +28,10 @@ from typing import Dict, List, Optional
 from .analysis.partitioning import (DataLayout, PartitionReport,
                                     partition_and_transform)
 from .analysis.stencil import LoopStencils, analyze_program
+from .core import types as T
 from .core.ir import Program
+from .core.multiloop import GenKind, MultiLoop
+from .obs.diagnostics import DiagCategory
 from .optim.soa import soa_input_values
 from .passes import (Pass, PassManager, PassTrace, partition_pass, rule_pass,
                      standard_passes)
@@ -104,6 +107,12 @@ class CompiledProgram:
     def warnings(self):
         return self.report.warnings
 
+    @property
+    def diagnostics(self):
+        """Typed, loop-attributed events (repro.diagnostics) behind the
+        ``warnings`` string view."""
+        return self.report.diagnostics
+
     def prepare_inputs(self, inputs: Dict[str, object]) -> Dict[str, object]:
         """Split AoS table inputs into the columns an SoA-transformed
         program expects."""
@@ -175,5 +184,30 @@ def compile_program(prog: Program, target: str = "cpu",
                        phase="report")
     report = reports[0]
     report.applied_rules = pm.applied_rules()
+    if target == "gpu":
+        _diagnose_gpu_vector_reduces(prog, report)
     stencils = analyze_program(prog)
     return CompiledProgram(prog, report, stencils, target, pm.traces)
+
+
+def _diagnose_gpu_vector_reduces(prog: Program,
+                                 report: PartitionReport) -> None:
+    """Flag vector-typed reductions that survived the GPU pipeline — the
+    CUDA backend emits them as slow global-memory reductions (§6:
+    "reducing non-scalar types on a GPU is typically very inefficient").
+    These used to exist only as ``// WARNING`` comments inside the
+    generated kernel source; as diagnostics they carry the loop symbol
+    and are visible without generating code."""
+    for d in prog.body.stmts:
+        if not isinstance(d.op, MultiLoop):
+            continue
+        for s, g in zip(d.syms, d.op.gens):
+            if (g.kind in (GenKind.REDUCE, GenKind.BUCKET_REDUCE)
+                    and isinstance(g.value.result_type,
+                                   (T.Coll, T.KeyedColl))):
+                report.diagnose(
+                    DiagCategory.CUDA_VECTOR_REDUCE,
+                    f"loop {d.syms[0]!r}: vector-typed reduction for "
+                    f"{s!r}: temporaries exceed shared memory; expect "
+                    f"poor performance (apply Row-to-Column Reduce, §3.2)",
+                    loop=d.syms[0].name, sym=str(s), kind=g.kind.name)

@@ -16,7 +16,24 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import MetricsRegistry
+
+#: optional metrics sink for directory lookups and read traps. ``None``
+#: (the default) keeps the hot paths guard-only — zero observability cost.
+_METRICS: Optional["MetricsRegistry"] = None
+
+
+def set_metrics(metrics: Optional["MetricsRegistry"]) -> Optional["MetricsRegistry"]:
+    """Install (or clear, with ``None``) the registry that directory
+    lookups and PartitionedArray read traps report into. Returns the
+    previous registry so callers can restore it."""
+    global _METRICS
+    prev = _METRICS
+    _METRICS = metrics
+    return prev
 
 
 @dataclass(frozen=True)
@@ -54,6 +71,8 @@ class Directory:
     def owner(self, index: int) -> int:
         if not 0 <= index < self.length:
             raise IndexError(index)
+        if _METRICS is not None:
+            _METRICS.inc("distarray.directory_lookups")
         return bisect_right(self.starts, index) - 1
 
     def ranges(self) -> List[Tuple[int, int]]:
@@ -103,11 +122,16 @@ class PartitionedArray:
         if loc is not None:
             if self.directory.owner(idx) == loc:
                 self.local_reads += 1
+                if _METRICS is not None:
+                    _METRICS.inc("distarray.local_reads")
             else:
                 # trapped: would be transparently fetched from the remote
                 # location that the directory names (§5)
                 self.remote_reads += 1
                 self.remote_bytes += self.elem_bytes
+                if _METRICS is not None:
+                    _METRICS.inc("distarray.remote_reads")
+                    _METRICS.inc("distarray.remote_bytes", self.elem_bytes)
         return self.data[idx]
 
     def __iter__(self):

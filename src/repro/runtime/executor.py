@@ -18,18 +18,23 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.partitioning import DataLayout, LoopDistInfo
 from ..analysis.stencil import Stencil
 from ..core import types as T
-from ..core.interp import DefRecord, ExecStats, Interp, LoopObserver
+from ..core.interp import (DefRecord, ExecStats, Interp, LoopObserver,
+                           MultiObserver)
 from ..core.ir import Def, Program, Sym
 from ..core.multiloop import GenKind, MultiLoop
 from ..core.ops import InputSource
 from ..pipeline import CompiledProgram
 from .distarray import Directory
 from .machine import (DMLL_CPP, GB, ClusterSpec, GPUSpec, SystemProfile)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.spans import Span, Tracer
 
 #: collections up to this size are replicated per memory region rather
 #: than fetched remotely (the §4.2 replicate-vs-move policy)
@@ -54,6 +59,13 @@ class ExecOptions:
     #: than the data (e.g. k-means compute is n*k*d but data is n*d);
     #: defaults to ``scale``
     data_scale: Optional[float] = None
+    #: observability (repro.obs): when a tracer is set (and enabled) every
+    #: priced run produces a span tree (run → loop → machine →
+    #: socket/GPU chunk); when a metrics registry is set the executor
+    #: feeds counters/histograms into it. Both default to off — the
+    #: pricing paths then do no observability work at all.
+    tracer: Optional["Tracer"] = None
+    metrics: Optional["MetricsRegistry"] = None
 
     @property
     def dscale(self) -> float:
@@ -73,6 +85,9 @@ class LoopSim:
     memory_s: float = 0.0
     comm_s: float = 0.0
     overhead_s: float = 0.0
+    #: structured pricing detail (byte flows, mapping decisions) — only
+    #: populated when observability is on; ``None`` on plain runs
+    detail: Optional[Dict[str, Any]] = None
 
     @property
     def time_s(self) -> float:
@@ -145,14 +160,19 @@ class RunCapture:
     footprints: Dict[int, int]   # unscaled payload bytes per collection
 
 
-def capture_run(compiled: CompiledProgram, inputs: Dict[str, Any]) -> RunCapture:
-    """Execute once on the instrumented interpreter."""
+def capture_run(compiled: CompiledProgram, inputs: Dict[str, Any],
+                observer: Optional[LoopObserver] = None) -> RunCapture:
+    """Execute once on the instrumented interpreter.
+
+    ``observer`` composes an extra hook (e.g. ``repro.obs.MetricsObserver``)
+    with the per-iteration cost collector."""
     prog = compiled.program
     prepared = compiled.prepare_inputs(inputs)
     top_ids = [d.syms[0].id for d in prog.body.stmts
                if isinstance(d.op, MultiLoop)]
     obs = _PerIterObserver(top_ids)
-    interp = Interp(observer=obs)
+    interp = Interp(observer=obs if observer is None
+                    else MultiObserver(obs, observer))
     results = interp.eval_program(prog, prepared)
     stats = interp.stats
 
@@ -188,7 +208,18 @@ class Simulator:
         dscale = self.options.dscale
         footprints = {k: int(v * dscale) for k, v in cap.footprints.items()}
         self._footprints_now = footprints
+        tr = self.options.tracer
+        self._obs = tr is not None and tr.enabled
+        self._mx = self.options.metrics
         sim = SimResult(cap.results, cap.stats)
+        root: Optional["Span"] = None
+        if self._obs:
+            root = tr.begin_run(
+                self.cluster.name, target=self.compiled.target,
+                **self.cluster.describe(), **self.profile.describe(),
+                cores=self.options.cores, sequential=self.options.sequential,
+                use_gpu=self.options.use_gpu, scale=self.options.scale)
+        cursor = 0.0
         for rec in cap.stats.def_records:
             if not rec.is_loop:
                 continue
@@ -199,7 +230,23 @@ class Simulator:
             ls = self._price_loop(rec, info, stencils, loop_def, per_iter,
                                   footprints)
             sim.loops.append(ls)
+            if self._mx is not None:
+                self._mx.inc("executor.loops_priced")
+                self._mx.observe("executor.loop_seconds", ls.time_s,
+                                 loop=ls.name)
+            if self._obs:
+                self._emit_loop_span(root, cursor, ls, rec, info, stencils,
+                                     loop_def)
+            cursor += ls.time_s
         sim.total_seconds = sum(l.time_s for l in sim.loops)
+        if self._obs:
+            root.dur_s = sim.total_seconds
+            root.set(total_seconds=sim.total_seconds, loops=len(sim.loops))
+        if self._mx is not None:
+            self._mx.gauge("executor.total_seconds", sim.total_seconds)
+            self._mx.gauge("interp.loop_iterations",
+                           cap.stats.loop_iterations)
+            self._mx.gauge("interp.total_cycles", cap.stats.total_cycles)
         return sim
 
     # -- helpers ---------------------------------------------------------
@@ -212,6 +259,59 @@ class Simulator:
 
     def _fp_of(self, sym) -> int:
         return getattr(self, "_footprints_now", {}).get(sym.id, 0)
+
+    # -- observability ---------------------------------------------------
+
+    def _emit_loop_span(self, root: "Span", t0: float, ls: LoopSim,
+                        rec: DefRecord, info: Optional[LoopDistInfo],
+                        stencils, loop_def: Optional[Def]) -> None:
+        """One loop's slice of the span tree: the loop span carries the
+        full pricing record; its children mirror the §5 hierarchy —
+        machine-level chunks (stencil ∩ partition directory), then
+        socket chunks or the GPU kernel."""
+        detail = ls.detail or {}
+        attrs = {"op": ls.op_name, "iters": ls.iters, "workers": ls.workers,
+                 "distributed": ls.distributed,
+                 "compute_s": ls.compute_s, "memory_s": ls.memory_s,
+                 "comm_s": ls.comm_s, "overhead_s": ls.overhead_s}
+        if loop_def is not None and isinstance(loop_def.op, MultiLoop):
+            attrs["generators"] = [g.kind.name for g in loop_def.op.gens]
+            layouts = self.compiled.report.layouts
+            attrs["layouts"] = {str(s): layouts[s].value
+                                for s in loop_def.syms if s in layouts}
+        if stencils is not None:
+            attrs["stencils"] = {str(s): st.value
+                                 for s, st in stencils.reads.items()}
+        if info is not None:
+            attrs["driving"] = (str(info.driving)
+                                if info.driving is not None else None)
+            attrs["broadcasts"] = [str(s) for s in info.broadcasts]
+            attrs["remote_random"] = [str(s) for s in info.remote_random]
+        attrs.update(detail)
+        span = root.child(ls.name, "loop", t0, ls.time_s, **attrs)
+
+        # the parallel region: machine chunks, then socket/GPU chunks
+        par = max(ls.compute_s, ls.memory_s)
+        if par <= 0.0:
+            return
+        n_mach = int(detail.get("machines_used", detail.get("machines", 1)))
+        chunks = Directory.even(max(ls.iters, 1), max(1, n_mach))
+        gpu = detail.get("gpu")
+        sockets = int(detail.get("sockets", 1))
+        cores = int(detail.get("cores_used", detail.get("cores", 1)))
+        for m in range(chunks.num_partitions):
+            lo, hi = chunks.range_of(m)
+            mspan = span.child(f"{ls.name}/m{m}", "machine", t0, par,
+                               machine=m, iter_lo=lo, iter_hi=hi)
+            if gpu is not None:
+                mspan.child(f"{ls.name}/m{m}/kernel", "gpu", t0, par,
+                            machine=m, device=gpu)
+            else:
+                per_socket = Directory.even(max(cores, 1), sockets)
+                for sk in range(per_socket.num_partitions):
+                    mspan.child(f"{ls.name}/m{m}/s{sk}", "socket", t0, par,
+                                machine=m, socket=sk,
+                                cores=per_socket.size_of(sk))
 
     def _worker_layout(self) -> Tuple[int, int, int]:
         """(machines, sockets_per_machine, cores_per_machine) actually used."""
@@ -248,6 +348,11 @@ class Simulator:
 
         ls = LoopSim(rec.name, rec.op_name, rec.size, distributed,
                      machines * cores)
+        if getattr(self, "_obs", False):
+            ls.detail = {"machines": machines, "sockets": sockets,
+                         "cores": cores, "dram_bytes": dram,
+                         "bytes_streamed": bytes_read,
+                         "cycles": cycles}
 
         nested_parallel = self._has_nested_loops(loop_def)
         if opts.use_gpu and loop_def is not None and node.gpu is not None:
@@ -367,6 +472,13 @@ class Simulator:
             # unpinned threads migrate across sockets: cache refills and
             # scheduler interference grow with the socket count
             ls.compute_s *= 1.0 + 0.3 * (sockets - 1)
+        if ls.detail is not None:
+            ls.detail.update(
+                machines_used=machines, cores_used=cores_eff,
+                nested_parallel=nested_parallel, imbalance=imbalance,
+                mem_bandwidth_gbs=bw / GB, bytes_local=chunk_bytes,
+                replicated_per_socket=replicated,
+                interval_driven=interval_driven)
 
     def _machine_imbalance(self, per_iter: Optional[List[float]],
                            machines: int) -> float:
@@ -406,9 +518,22 @@ class Simulator:
         ls.compute_s = compute
         ls.memory_s = mem
         ls.overhead_s += gpu.kernel_launch_us * 1e-6
+        if ls.detail is not None:
+            ls.detail.update(
+                gpu=gpu.name, machines_used=machines,
+                vector_reduce=self._has_vector_reduce(loop_def),
+                uncoalesced=(self._reads_matrix(loop_def, stencils)
+                             and not self.options.gpu_transposed),
+                random_gather=bool(info is not None and info.remote_random),
+                kernel_launch_us=gpu.kernel_launch_us)
         if self.options.include_gpu_transfer and stencils is not None:
             moved = sum(footprints.get(s.id, 0) for s in stencils.reads)
             ls.comm_s += (moved / machines) / (gpu.pcie_bandwidth_gbs * GB)
+            if ls.detail is not None:
+                ls.detail["bytes_pcie"] = moved / machines
+            mx = getattr(self, "_mx", None)
+            if mx is not None:
+                mx.inc("executor.pcie_bytes", moved / machines, loop=ls.name)
 
     def _has_vector_reduce(self, d: Def) -> bool:
         assert isinstance(d.op, MultiLoop)
@@ -434,6 +559,7 @@ class Simulator:
         net_bw = self.cluster.network_gbs * GB if self.cluster.nodes > 1 else 0.0
         rate = prof.effective_rate(node.socket)
         comm = 0.0
+        mx = getattr(self, "_mx", None)
 
         if info is not None and ls.distributed and machines > 1:
             # broadcast All/Const partitioned inputs to every machine
@@ -442,6 +568,12 @@ class Simulator:
                 if net_bw > 0:
                     comm += nbytes / net_bw
                     comm += nbytes * prof.ser_cycles_per_byte / rate
+                    if ls.detail is not None:
+                        ls.detail["bytes_broadcast"] = (
+                            ls.detail.get("bytes_broadcast", 0.0) + nbytes)
+                    if mx is not None:
+                        mx.inc("executor.broadcast_bytes", nbytes,
+                               loop=ls.name)
 
             # dynamic remote fetches for Unknown accesses
             for s in info.remote_random:
@@ -453,6 +585,14 @@ class Simulator:
                     comm += (moved * prof.ser_cycles_per_byte / rate
                              / machines)
                     comm += self.cluster.network_latency_us * 1e-6 * machines
+                    if ls.detail is not None:
+                        ls.detail["bytes_network"] = (
+                            ls.detail.get("bytes_network", 0.0) + moved)
+                        ls.detail["remote_fraction"] = frac
+                    if mx is not None:
+                        mx.inc("executor.remote_fetch_bytes", moved,
+                               loop=ls.name)
+                        mx.inc("executor.remote_fetch_decisions")
                 else:
                     # NUMA: remote-socket reads at reduced bandwidth
                     s_frac = self._remote_fraction(sockets, nbytes)
@@ -460,6 +600,13 @@ class Simulator:
                     bw = (node.socket.mem_bandwidth_gbs * GB
                           * node.numa_remote_factor * max(1, sockets - 1))
                     ls.memory_s += remote / bw
+                    if ls.detail is not None:
+                        ls.detail["bytes_remote_numa"] = (
+                            ls.detail.get("bytes_remote_numa", 0.0) + remote)
+                        ls.detail["remote_fraction"] = s_frac
+                    if mx is not None:
+                        mx.inc("executor.numa_remote_bytes", remote,
+                               loop=ls.name)
 
             # merge partial reduction results across machines
             if loop_def is not None and net_bw > 0:
@@ -471,6 +618,11 @@ class Simulator:
                     hops = max(1, int(math.log2(machines)))
                     comm += out_bytes * hops / net_bw
                     comm += out_bytes * prof.ser_cycles_per_byte / rate
+                    if ls.detail is not None:
+                        ls.detail["bytes_merge"] = out_bytes * hops
+                    if mx is not None:
+                        mx.inc("executor.merge_bytes", out_bytes * hops,
+                               loop=ls.name)
 
             # a distributed BucketCollect is a shuffle of the whole payload
             if loop_def is not None and net_bw > 0:
@@ -480,6 +632,10 @@ class Simulator:
                     moved = payload * (machines - 1) / machines
                     comm += moved / (net_bw * machines)
                     comm += moved * 2 * prof.ser_cycles_per_byte / rate / machines
+                    if ls.detail is not None:
+                        ls.detail["bytes_shuffle"] = moved
+                    if mx is not None:
+                        mx.inc("executor.shuffle_bytes", moved, loop=ls.name)
 
         # NUMA box, Unknown accesses on a single machine (graph apps):
         # cache misses land on a remote socket whether the array is
@@ -500,10 +656,23 @@ class Simulator:
                 if nbytes <= _REPLICATION_LIMIT_BYTES:
                     # replicated once per socket at startup, amortized over
                     # the run (like input loading / device transfer)
+                    if ls.detail is not None:
+                        ls.detail.setdefault("replicated", []).append(str(s))
+                    if mx is not None:
+                        mx.inc("executor.replication_decisions")
+                        mx.inc("executor.replicated_bytes", nbytes,
+                               loop=ls.name)
                     continue
                 frac = self._remote_fraction(sockets, nbytes)
                 remote = bytes_read * frac
                 ls.memory_s += remote / bw
+                if ls.detail is not None:
+                    ls.detail["bytes_remote_numa"] = (
+                        ls.detail.get("bytes_remote_numa", 0.0) + remote)
+                    ls.detail["remote_fraction"] = frac
+                if mx is not None:
+                    mx.inc("executor.numa_remote_bytes", remote, loop=ls.name)
+                    mx.inc("executor.remote_fetch_decisions")
 
         ls.comm_s += comm
 

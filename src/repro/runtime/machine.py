@@ -82,6 +82,17 @@ class ClusterSpec:
     def total_cores(self) -> int:
         return self.nodes * self.node.cores
 
+    def describe(self) -> dict:
+        """Flat attribute dict for span/trace annotation."""
+        return {
+            "cluster": self.name,
+            "nodes": self.nodes,
+            "sockets_per_node": self.node.sockets,
+            "cores_per_node": self.node.cores,
+            "network_gbs": self.network_gbs,
+            "gpu": self.node.gpu.name if self.node.gpu else None,
+        }
+
 
 # ---------------------------------------------------------------------------
 # The paper's testbeds
@@ -179,6 +190,15 @@ class SystemProfile:
 
     def effective_cycles(self, essential: float, overhead: float) -> float:
         return essential + overhead / self.overhead_elim
+
+    def describe(self) -> dict:
+        """Flat attribute dict for span/trace annotation."""
+        return {
+            "profile": self.name,
+            "numa_aware": self.numa_aware,
+            "pinned": self.pinned,
+            "cycle_factor": self.cycle_factor,
+        }
 
 
 #: DMLL generating C++ (NUMA experiments): a low-overhead resident runtime

@@ -1,6 +1,6 @@
 """Command-line inspector: dump a benchmark application's IR at any
-pipeline stage, its analyses, its generated backend code, or the
-per-pass compilation trace.
+pipeline stage, its analyses, its generated backend code, the per-pass
+compilation trace — or run it on the simulated hardware and profile it.
 
 Usage::
 
@@ -10,6 +10,9 @@ Usage::
     python -m repro.tools q1 --report            # partitioning/stencils
     python -m repro.tools kmeans --trace         # per-pass table
     python -m repro.tools kmeans --verify-each   # verifier at every pass
+    python -m repro.tools kmeans --profile       # per-loop time breakdown
+    python -m repro.tools kmeans --trace-out t.json   # Chrome trace
+    python -m repro.tools kmeans --metrics       # runtime counters
     python -m repro.tools --list
 """
 
@@ -52,6 +55,44 @@ def _emit(prog, emit: str) -> str:
     return generate_scala(prog)
 
 
+def _run_observed(args) -> int:
+    """--profile / --trace-out / --metrics: execute the app on its bundled
+    dataset through the simulated runtime with observability attached."""
+    from .bench.apps import _FACTORIES, get_bundle
+    if args.app not in _FACTORIES:
+        print(f"--profile/--trace-out/--metrics need a bundled dataset; "
+              f"apps with one: {', '.join(sorted(_FACTORIES))}",
+              file=sys.stderr)
+        return 2
+    from .obs import (MetricsRegistry, Tracer, profile_report,
+                      write_chrome_trace)
+    from .runtime import DMLL_CPP, GPU_CLUSTER, NUMA_BOX, single_node
+
+    bundle = get_bundle(args.app)
+    gpu = args.target == "gpu"
+    variant = "gpu" if gpu else ("plain" if args.no_transforms else "opt")
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    cluster = single_node(GPU_CLUSTER) if gpu else NUMA_BOX
+    sim = bundle.simulate(variant, cluster=cluster, use_gpu=gpu,
+                          gpu_transposed=gpu, tracer=tracer, metrics=metrics)
+    tracer.last_run.name = f"{args.app}:{cluster.name}"
+
+    if args.profile:
+        print(profile_report(
+            sim, title=f"{args.app} on {cluster.name} "
+                       f"({'GPU' if gpu else 'CPU'}), simulated time"))
+        for d in bundle.compiled(variant).diagnostics:
+            print(d.render())
+    if args.metrics:
+        print(metrics.render())
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, tracer)
+        print(f"wrote Chrome trace to {args.trace_out}; load it in "
+              f"chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro.tools", description=__doc__)
     ap.add_argument("app", nargs="?", help="application name (see --list)")
@@ -70,6 +111,14 @@ def main(argv=None) -> int:
                     help="run the structural IR verifier after every pass")
     ap.add_argument("--no-transforms", action="store_true",
                     help="disable the Fig. 3 nested pattern rules")
+    ap.add_argument("--profile", action="store_true",
+                    help="simulate the app on its bundled dataset and "
+                         "print the per-loop time breakdown")
+    ap.add_argument("--trace-out", metavar="FILE.json",
+                    help="write a Chrome-trace (Perfetto) JSON of the "
+                         "simulated run")
+    ap.add_argument("--metrics", action="store_true",
+                    help="print runtime metrics of the simulated run")
     args = ap.parse_args(argv)
 
     if args.list or not args.app:
@@ -79,14 +128,24 @@ def main(argv=None) -> int:
         print(f"unknown app {args.app!r}; use --list", file=sys.stderr)
         return 2
 
+    observed = args.profile or args.trace_out or args.metrics
     prog = _APPS[args.app]()
     if args.stage == "staged":
-        if args.trace or args.verify_each:
-            print("--trace/--verify-each require compilation; "
-                  "drop --stage staged", file=sys.stderr)
+        # everything below needs a compiled program; --report used to be
+        # *silently* ignored here (same flag-dropping class of bug as the
+        # --emit one) — reject it loudly like the others
+        if args.trace or args.verify_each or args.report or observed:
+            print("--trace/--verify-each/--report/--profile/--trace-out/"
+                  "--metrics require compilation; drop --stage staged",
+                  file=sys.stderr)
             return 2
         print(_emit(prog, args.emit))
         return 0
+
+    if observed and not (args.trace or args.report):
+        # the observed run compiles through its AppBundle; skip the
+        # redundant inspection compile
+        return _run_observed(args)
 
     compiled = compile_program(prog, args.target,
                                apply_nested_transforms=not args.no_transforms,
@@ -106,8 +165,9 @@ def main(argv=None) -> int:
             print(f"loop {ls.loop_sym}: {reads}")
         for sym, layout in compiled.report.layouts.items():
             print(f"  {sym}: {layout.value}")
-        return 0
-    if args.trace:
+    if observed:
+        return _run_observed(args)
+    if args.trace or args.report:
         return 0
 
     print(_emit(compiled.program, args.emit))

@@ -1,0 +1,307 @@
+"""Observability layer: span trees, metrics, typed diagnostics, and the
+Chrome-trace exporter — plus the guarantee that all of it costs nothing
+when disabled."""
+
+import io
+import json
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro import tools
+from repro.bench import get_bundle
+from repro.bench.apps import _FACTORIES
+from repro.obs import (DiagCategory, MetricsRegistry, Span, Tracer,
+                       chrome_trace_events, profile_report, render_spans,
+                       write_chrome_trace)
+from repro.obs.check import validate_events, validate_file
+from repro.runtime import set_metrics, set_reader_location
+from repro.runtime.distarray import PartitionedArray
+
+APPS = sorted(_FACTORIES)
+
+TOL = 1e-9
+
+
+def traced(name):
+    """Price a bundled app with a tracer attached; returns (sim, root)."""
+    tracer = Tracer()
+    sim = get_bundle(name).simulate(tracer=tracer)
+    return sim, tracer.last_run
+
+
+# ---------------------------------------------------------------------------
+# span trees
+# ---------------------------------------------------------------------------
+
+class TestSpanTree:
+    @pytest.mark.parametrize("name", APPS)
+    def test_well_formed(self, name):
+        sim, root = traced(name)
+        assert root is not None and root.kind == "run"
+        # every child interval nests inside its parent
+        def check(parent):
+            for c in parent.children:
+                assert parent.contains(c, TOL), (parent, c)
+                check(c)
+        check(root)
+        # the loop layer tiles [0, total] back-to-back
+        loops = [c for c in root.children if c.kind == "loop"]
+        assert len(loops) == len(sim.loops)
+        cursor = 0.0
+        for sp in loops:
+            assert sp.start_s == pytest.approx(cursor, abs=TOL)
+            cursor = sp.end_s
+        assert cursor == pytest.approx(sim.total_seconds, abs=TOL)
+        assert root.dur_s == pytest.approx(sim.total_seconds, abs=TOL)
+
+    @pytest.mark.parametrize("name", APPS)
+    def test_breakdown_identity(self, name):
+        """time_s == max(compute, memory) + comm + overhead, and the span
+        attributes carry exactly the LoopSim split."""
+        sim, root = traced(name)
+        loops = {sp.name: sp for sp in root.children if sp.kind == "loop"}
+        for ls in sim.loops:
+            assert ls.time_s == pytest.approx(
+                max(ls.compute_s, ls.memory_s) + ls.comm_s + ls.overhead_s)
+            sp = loops[ls.name]
+            assert sp.dur_s == pytest.approx(ls.time_s, abs=TOL)
+            for k in ("compute_s", "memory_s", "comm_s", "overhead_s"):
+                assert sp.attrs[k] == getattr(ls, k)
+        assert sum(l.time_s for l in sim.loops) == pytest.approx(
+            sim.total_seconds)
+
+    def test_machine_and_socket_layers(self):
+        _, root = traced("kmeans")
+        kinds = {sp.kind for sp, _ in root.walk()}
+        assert {"run", "loop", "machine", "socket"} <= kinds
+        # machine chunks sit on the parallel region of their loop
+        for sp, _ in root.walk():
+            if sp.kind == "machine":
+                assert sp.attrs.get("machine") is not None
+                assert sp.attrs["iter_hi"] >= sp.attrs["iter_lo"]
+
+    def test_gpu_layer(self):
+        from repro.runtime import GPU_CLUSTER, single_node
+        tracer = Tracer()
+        get_bundle("kmeans").simulate(
+            "gpu", cluster=single_node(GPU_CLUSTER), use_gpu=True,
+            gpu_transposed=True, tracer=tracer)
+        kinds = {sp.kind for sp, _ in tracer.last_run.walk()}
+        assert "gpu" in kinds
+
+    def test_render_spans(self):
+        _, root = traced("logreg")
+        text = render_spans(root)
+        assert "run:" in text and "loop:" in text and "ms" in text
+
+
+# ---------------------------------------------------------------------------
+# zero cost when disabled
+# ---------------------------------------------------------------------------
+
+class TestZeroCost:
+    @pytest.mark.parametrize("name", APPS)
+    def test_tracing_does_not_change_timing(self, name):
+        plain = get_bundle(name).simulate()
+        observed = get_bundle(name).simulate(tracer=Tracer(),
+                                             metrics=MetricsRegistry())
+        assert plain.total_seconds == observed.total_seconds  # bit-exact
+        for a, b in zip(plain.loops, observed.loops):
+            assert (a.compute_s, a.memory_s, a.comm_s, a.overhead_s) == \
+                   (b.compute_s, b.memory_s, b.comm_s, b.overhead_s)
+
+    def test_no_detail_allocated_when_disabled(self):
+        sim = get_bundle("kmeans").simulate()
+        assert all(ls.detail is None for ls in sim.loops)
+
+    def test_disabled_tracer_emits_nothing(self):
+        tracer = Tracer(enabled=False)
+        get_bundle("kmeans").simulate(tracer=tracer)
+        assert tracer.runs == []
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace export
+# ---------------------------------------------------------------------------
+
+class TestChromeTrace:
+    def test_events_validate(self):
+        _, root = traced("q1")
+        events = chrome_trace_events(root)
+        assert validate_events(events) == []
+        xs = [e for e in events if e["ph"] == "X"]
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in xs)
+        # metadata names the process and every track
+        metas = [e for e in events if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in metas)
+        assert {e["tid"] for e in metas if e["name"] == "thread_name"} >= \
+               {e["tid"] for e in xs}
+
+    def test_file_round_trip(self, tmp_path):
+        sim, root = traced("gene")
+        path = tmp_path / "gene.json"
+        write_chrome_trace(str(path), root)
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert validate_file(str(path)) == []
+        run = next(e for e in doc["traceEvents"] if e.get("cat") == "run")
+        assert run["dur"] == pytest.approx(sim.total_seconds * 1e6, rel=1e-6)
+
+    def test_validator_rejects_bad_traces(self, tmp_path):
+        assert validate_events([]) != []
+        assert validate_events([{"ph": "X", "name": "a", "pid": 1, "tid": 0,
+                                 "ts": -1, "dur": 2}]) != []
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert validate_file(str(bad)) != []
+        from repro.obs import check
+        assert check.main([str(bad)]) == 1
+        assert check.main([]) == 2
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+class TestMetrics:
+    def test_registry_basics(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.inc("a", 2.0)
+        m.inc("a", 5.0, loop="x")
+        m.gauge("g", 7.0)
+        m.observe("h", 1.0)
+        m.observe("h", 3.0)
+        assert m.counter("a") == 3.0
+        assert m.counter("a", loop="x") == 5.0
+        assert m.histogram_stats("h") == {"count": 2, "min": 1.0, "max": 3.0,
+                                          "mean": 2.0, "p50": 3.0}
+        snap = m.snapshot()
+        assert snap["counters"]["a{loop=x}"] == 5.0
+        text = m.render()
+        assert "counters:" in text and "a{loop=x}" in text
+        m.clear()
+        assert m.render() == "(no metrics recorded)"
+
+    def test_executor_feeds_metrics(self):
+        metrics = MetricsRegistry()
+        sim = get_bundle("kmeans").simulate(metrics=metrics)
+        assert metrics.counter("executor.loops_priced") == len(sim.loops)
+        assert metrics.gauges["executor.total_seconds"] == sim.total_seconds
+        for ls in sim.loops:
+            st = metrics.histogram_stats("executor.loop_seconds",
+                                         loop=ls.name)
+            assert st["count"] >= 1
+
+    def test_distarray_traps_feed_metrics(self):
+        metrics = MetricsRegistry()
+        prev = set_metrics(metrics)
+        try:
+            arr = PartitionedArray(list(range(100)), parts=4)
+            set_reader_location(0)
+            arr[3]       # partition 0: local
+            arr[99]      # partition 3: remote
+        finally:
+            set_metrics(prev)
+            set_reader_location(None)
+        assert metrics.counter("distarray.local_reads") == 1
+        assert metrics.counter("distarray.remote_reads") == 1
+        assert metrics.counter("distarray.remote_bytes") == arr.elem_bytes
+        assert metrics.counter("distarray.directory_lookups") == 2
+
+    def test_replication_decision_is_counted(self):
+        metrics = MetricsRegistry()
+        get_bundle("pagerank").simulate(metrics=metrics)
+        assert (metrics.counter("executor.replication_decisions")
+                + metrics.counter("executor.remote_fetch_decisions")) >= 1
+
+
+# ---------------------------------------------------------------------------
+# typed diagnostics
+# ---------------------------------------------------------------------------
+
+class TestDiagnostics:
+    def test_unknown_stencil_is_typed_and_attributed(self):
+        c = get_bundle("pagerank").compiled("opt")
+        diags = [d for d in c.diagnostics
+                 if d.category is DiagCategory.UNKNOWN_STENCIL_FALLBACK]
+        assert diags, "pagerank's gather loop must trip the fallback"
+        d = diags[0]
+        assert d.loop is not None
+        assert "falling back" in d.message
+        assert d.loop in d.render() and d.category.value in d.render()
+
+    def test_warnings_is_a_derived_view(self):
+        c = get_bundle("pagerank").compiled("opt")
+        assert c.warnings == [d.message for d in c.report.diagnostics
+                              if d.severity == "warning"]
+        assert any("falling back" in w for w in c.warnings)
+
+    def test_cuda_vector_reduce_diagnostic(self):
+        from repro.apps.gda import gda_program
+        from repro.pipeline import compile_program
+        c = compile_program(gda_program(), "gpu",
+                            apply_nested_transforms=False)
+        # without Row-to-Column Reduce gda's column sum keeps a vector
+        # accumulator on the device
+        cats = [d.category for d in c.diagnostics]
+        assert DiagCategory.CUDA_VECTOR_REDUCE in cats
+        d = next(d for d in c.diagnostics
+                 if d.category is DiagCategory.CUDA_VECTOR_REDUCE)
+        assert d.loop is not None and d.data.get("kind")
+
+    def test_gpu_transforms_remove_vector_reduce(self):
+        c = get_bundle("gda").compiled("gpu")
+        assert DiagCategory.CUDA_VECTOR_REDUCE not in \
+               [d.category for d in c.diagnostics]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def run_cli(*argv) -> str:
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        rc = tools.main(list(argv))
+    assert rc == 0
+    return buf.getvalue()
+
+
+class TestCli:
+    def test_profile_prints_breakdown(self):
+        out = run_cli("kmeans", "--profile")
+        assert "TOTAL" in out and "100.0%" in out
+        assert "compute" in out and "comm" in out
+
+    def test_profile_total_matches_sim(self):
+        out = run_cli("kmeans", "--profile")
+        sim = get_bundle("kmeans").simulate()
+        assert f"{sim.total_seconds * 1e3:10.3f}".strip() in out
+
+    def test_trace_out_writes_valid_trace(self, tmp_path):
+        path = tmp_path / "km.json"
+        run_cli("kmeans", "--trace-out", str(path))
+        assert validate_file(str(path)) == []
+
+    def test_metrics_flag(self):
+        out = run_cli("q1", "--metrics")
+        assert "counters:" in out and "executor.loops_priced" in out
+
+    def test_staged_rejects_report_and_profile_flags(self):
+        """Regression: --stage staged used to silently ignore --report."""
+        for flags in (["--report"], ["--profile"],
+                      ["--trace-out", "/tmp/x.json"], ["--metrics"]):
+            assert tools.main(["kmeans", "--stage", "staged"] + flags) == 2
+
+    def test_profile_needs_a_bundle(self, capsys):
+        assert tools.main(["knn", "--profile"]) == 2
+        assert "bundled dataset" in capsys.readouterr().err
+
+    def test_gpu_profile(self, tmp_path):
+        path = tmp_path / "lr.json"
+        out = run_cli("logreg", "--target", "gpu", "--profile",
+                      "--trace-out", str(path))
+        assert "GPU" in out
+        assert validate_file(str(path)) == []
