@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import json
 import pathlib
+import time
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 #: per-loop breakdowns accumulated by ``record_sim`` during a sweep,
 #: keyed by results-file name; ``emit_json`` flushes one file's worth
@@ -29,6 +31,7 @@ def sim_breakdown(sim) -> dict:
     """JSON-able per-loop time split of one priced run."""
     return {
         "total_seconds": sim.total_seconds,
+        "backend": getattr(sim, "backend", "reference"),
         "loops": [
             {"loop": ls.name, "op": ls.op_name, "iters": ls.iters,
              "workers": ls.workers, "time_s": ls.time_s,
@@ -39,11 +42,82 @@ def sim_breakdown(sim) -> dict:
     }
 
 
-def record_sim(name: str, label: str, sim) -> float:
+def record_sim(name: str, label: str, sim, wall: dict = None) -> float:
     """Stash ``sim``'s per-loop breakdown under ``label`` for the results
-    file ``name`` and return the headline time (seconds)."""
-    _BREAKDOWNS.setdefault(name, {})[label] = sim_breakdown(sim)
+    file ``name`` and return the headline time (seconds).
+
+    ``wall``, when given, is a per-backend host wall-clock dict (see
+    ``measure_backends``) recorded alongside the simulated seconds —
+    simulated time is the paper's metric, host wall-clock is ours."""
+    bd = sim_breakdown(sim)
+    if wall is not None:
+        bd["host_wallclock"] = wall
+    _BREAKDOWNS.setdefault(name, {})[label] = bd
     return sim.total_seconds
+
+
+# ---------------------------------------------------------------------------
+# Host wall-clock measurement (reference interpreter vs numpy backend)
+# ---------------------------------------------------------------------------
+
+def time_backend(compiled, inputs, backend: str, repeats: int = 3):
+    """Best-of-``repeats`` host wall-clock seconds of one functional
+    execution of ``compiled`` on ``backend``; returns
+    ``(seconds, results, stats, fallbacks)``."""
+    from repro.backend import run_program_numpy
+    from repro.core.interp import run_program
+    prepared = compiled.prepare_inputs(inputs)
+    best = None
+    out = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        if backend == "numpy":
+            results, stats, fallbacks = run_program_numpy(
+                compiled.program, prepared)
+        else:
+            results, stats = run_program(compiled.program, prepared)
+            fallbacks = []
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best, out = dt, (results, stats, fallbacks)
+    return (best,) + out
+
+
+def measure_backends(app: str, repeats: int = 3) -> dict:
+    """Time the ``opt`` variant of a bundled app under both backends and
+    differentially check results/cycles while at it."""
+    from repro.bench import get_bundle
+    from repro.core.values import deep_eq
+    b = get_bundle(app)
+    compiled = b.compiled("opt")
+    ref_s, ref_res, ref_stats, _ = time_backend(
+        compiled, b.inputs, "reference", repeats)
+    np_s, np_res, np_stats, fallbacks = time_backend(
+        compiled, b.inputs, "numpy", repeats)
+    return {
+        "reference_s": ref_s,
+        "numpy_s": np_s,
+        "speedup": ref_s / np_s if np_s > 0 else float("inf"),
+        "identical_results": deep_eq(ref_res, np_res),
+        "identical_cycles": ref_stats.total_cycles == np_stats.total_cycles,
+        "fallbacks": [{"loop": str(f.loop), "op": f.op, "reason": f.reason}
+                      for f in fallbacks],
+    }
+
+
+def write_bench_backend(summary: dict) -> None:
+    """Write the top-level reference-vs-numpy wall-clock summary the CI
+    perf trajectory reads (``BENCH_backend.json`` at the repo root)."""
+    from statistics import median
+    doc = {
+        "metric": "host wall-clock seconds of functional execution "
+                  "(best of repeats), opt variant",
+        "apps": summary,
+        "median_speedup": median(s["speedup"] for s in summary.values()),
+        "generated_by": "benchmarks/bench_backend.py",
+    }
+    (REPO_ROOT / "BENCH_backend.json").write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
 
 def emit_json(name: str) -> None:

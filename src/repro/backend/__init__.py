@@ -1,0 +1,42 @@
+"""Execution backends for optimized DMLL programs.
+
+Two backends share the reference interpreter's semantics and cost model:
+
+- ``"reference"`` — the instrumented per-element interpreter
+  (``repro.core.interp``); always correct, slow in wall-clock.
+- ``"numpy"``     — vectorized multiloop execution
+  (``repro.backend.executor``); identical results and ``ExecStats``,
+  with automatic recorded fallback to the reference path per loop.
+
+The process-wide default is ``DEFAULT_BACKEND``; ``resolve_backend``
+honors an explicit argument first, then the ``REPRO_BACKEND``
+environment variable, then the default — so callers can thread a
+``backend=None`` parameter without each re-implementing the policy.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .executor import FallbackRecord, NumpyInterp, run_program_numpy
+from .vectorize import VecError, plan_loop
+
+BACKENDS = ("reference", "numpy")
+
+#: process-wide default backend; tests and the CLI may rebind it
+DEFAULT_BACKEND = "reference"
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Explicit choice > ``REPRO_BACKEND`` env var > ``DEFAULT_BACKEND``."""
+    if name is None:
+        name = os.environ.get("REPRO_BACKEND") or DEFAULT_BACKEND
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {BACKENDS}")
+    return name
+
+
+__all__ = ["BACKENDS", "DEFAULT_BACKEND", "FallbackRecord", "NumpyInterp",
+           "VecError", "plan_loop", "resolve_backend", "run_program_numpy"]

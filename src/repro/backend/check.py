@@ -1,0 +1,66 @@
+"""CI gate: every bundled app must execute fully vectorized.
+
+Runs each bundled application's ``opt`` variant on the numpy backend and
+exits non-zero if any loop fell back to the reference interpreter — a
+fallback is correct but silent in results, so only this gate (and the
+``backend.fallback`` metric) keeps vectorization coverage from rotting.
+
+Usage::
+
+    python -m repro.backend.check            # all bundled apps
+    python -m repro.backend.check kmeans q1  # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .executor import run_program_numpy
+
+
+def check_apps(names=None) -> int:
+    from ..bench.apps import _FACTORIES, get_bundle
+    from ..core.interp import run_program
+    from ..core.values import deep_eq
+    names = list(names) if names else sorted(_FACTORIES)
+    bad = 0
+    for name in names:
+        if name not in _FACTORIES:
+            print(f"unknown app {name!r}; bundled: "
+                  f"{', '.join(sorted(_FACTORIES))}", file=sys.stderr)
+            return 2
+        bundle = get_bundle(name)
+        compiled = bundle.compiled("opt")
+        prepared = compiled.prepare_inputs(bundle.inputs)
+        results, stats, fallbacks = run_program_numpy(compiled.program,
+                                                      prepared)
+        ref_results, ref_stats = run_program(compiled.program, prepared)
+        problems = []
+        for fb in fallbacks:
+            problems.append(f"fallback {fb.loop} ({fb.op}): {fb.reason}")
+        if not deep_eq(results, ref_results):
+            problems.append("results diverge from reference interpreter")
+        if stats.total_cycles != ref_stats.total_cycles:
+            problems.append(
+                f"cycle accounting diverges ({stats.total_cycles} vs "
+                f"{ref_stats.total_cycles})")
+        if problems:
+            bad += 1
+            print(f"FAIL {name}")
+            for p in problems:
+                print(f"  {p}")
+        else:
+            print(f"ok   {name}: {stats.loops_executed} loop executions "
+                  f"vectorized, results + cycles identical")
+    if bad:
+        print(f"{bad}/{len(names)} apps not fully vectorized",
+              file=sys.stderr)
+    return 1 if bad else 0
+
+
+def main(argv=None) -> int:
+    return check_apps(sys.argv[1:] if argv is None else argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,1003 @@
+"""Block vectorizer: evaluate DMLL blocks over whole index vectors.
+
+The reference interpreter (``repro.core.interp``) evaluates generator
+blocks once per element; this module evaluates them once per *loop* on
+NumPy lane vectors — one lane per loop index — under a boolean activity
+mask. Values flow through a small vocabulary of representations:
+
+- ``numpy.ndarray`` of shape ``(L,)`` — a per-lane scalar;
+- ``SVec``   — a per-lane struct, stored as columnar fields;
+- ``ArrVec`` — a per-lane nested array, stored padded with optional
+  per-lane lengths (ragged rows);
+- ``Rows``   — a lazy per-lane gather of rows from one host collection
+  (adjacency lists, bucket values) that keeps the original row objects
+  reachable for collection primitives;
+- any other Python value — lane-invariant ("uniform"), evaluated once.
+
+Cost accounting stays *analytic* and matches the interpreter cycle for
+cycle: every operation adds its cost to per-lane essential/overhead
+vectors under the current mask, and global tallies (op counts, elements
+read, bytes) accumulate in a ``StatsDelta`` that the caller commits only
+after the whole loop vectorized successfully — a mid-loop ``VecError``
+therefore leaves the interpreter's stats untouched and the loop can fall
+back to reference execution. All cycle constants are dyadic rationals, so
+the vectorized sums are bit-identical to the interpreter's sequential
+accumulation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import types as T
+from ..core.interp import (BRANCH_CYCLES, BUCKET_CYCLES, READ_CYCLES,
+                           WRITE_CYCLES, loop_share_plan)
+from ..core.ir import Block, Const, Def, Exp, Sym
+from ..core.multiloop import GenKind, Generator, MultiLoop
+from ..core.ops import (COLL_PRIMS, PRIMS, ArrayApply, ArrayLength, ArrayLit,
+                        BucketKeys, BucketLookup, CollPrim, IfThenElse,
+                        InputSource, MakeKeyed, Prim, StructField, StructNew)
+from ..core.values import Buckets
+
+
+class VecError(Exception):
+    """A construct (or runtime value shape) this backend cannot vectorize.
+
+    Raised before any stats are committed; the caller records the reason
+    and re-executes the loop on the reference interpreter.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Lane-vector value representations
+# ---------------------------------------------------------------------------
+
+class SVec:
+    """Per-lane struct: a tuple of columnar fields (each a lane vector or
+    a uniform value)."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: Tuple[Any, ...]):
+        self.fields = fields
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SVec({self.fields!r})"
+
+
+class ArrVec:
+    """Per-lane nested array: ``data`` has shape ``(L, W, ...)``; rows may
+    be ragged, in which case ``lengths`` gives each lane's true length and
+    the tail of every row is padding."""
+
+    __slots__ = ("data", "lengths")
+
+    def __init__(self, data: np.ndarray, lengths: Optional[np.ndarray]):
+        self.data = data
+        self.lengths = lengths
+
+    def length_vec(self):
+        if self.lengths is not None:
+            return self.lengths
+        return self.data.shape[1]  # uniform width
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ArrVec{self.data.shape}"
+
+
+class Rows:
+    """Per-lane rows gathered from one uniform host collection: lane ``l``
+    holds ``base[idx[l]]``. Padding/length caches live on ``host`` (the
+    executing interpreter) so one host collection is columnarized at most
+    once per run."""
+
+    __slots__ = ("base", "idx", "host")
+
+    def __init__(self, base: Sequence[Any], idx: np.ndarray, host=None):
+        self.base = base
+        self.idx = idx
+        self.host = host
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Rows(n={len(self.base)}, L={len(self.idx)})"
+
+
+def _materialize(v: Any) -> Any:
+    """Rows → padded ArrVec (needed when a select/concat mixes a gather
+    with a computed array, e.g. a vector-add reduction over input rows)."""
+    if not isinstance(v, Rows):
+        return v
+    if v.host is None:
+        raise VecError("cannot materialize detached row gather")
+    lens, pad = v.host.row_cache(v.base)
+    if pad is None:
+        raise VecError("cannot materialize non-scalar rows")
+    l = lens[v.idx]
+    data = pad[v.idx]
+    if l.size and int(l.min()) == int(l.max()):
+        return ArrVec(data[:, : int(l[0])], None)
+    return ArrVec(data, l)
+
+
+def is_vec(v: Any) -> bool:
+    return isinstance(v, (np.ndarray, SVec, ArrVec, Rows))
+
+
+def _np_dtype(tpe: T.Type):
+    if tpe is T.DOUBLE:
+        return np.float64
+    if tpe in (T.INT, T.LONG):
+        return np.int64
+    if tpe is T.BOOL:
+        return np.bool_
+    return object
+
+
+# ---------------------------------------------------------------------------
+# Structural recombination helpers
+# ---------------------------------------------------------------------------
+
+def as_lane_vec(v: Any, L: int) -> Any:
+    """Broadcast a uniform value to a full lane vector (vectors pass
+    through)."""
+    if is_vec(v):
+        return v
+    if isinstance(v, tuple):
+        return SVec(tuple(as_lane_vec(f, L) for f in v))
+    if isinstance(v, list):
+        row = np.asarray(v)
+        if row.dtype == object:
+            raise VecError("cannot broadcast heterogeneous row")
+        return ArrVec(np.tile(row, (L,) + (1,) * max(row.ndim, 1)), None)
+    if isinstance(v, (bool, np.bool_)):
+        return np.full(L, bool(v), dtype=np.bool_)
+    if isinstance(v, (int, np.integer)):
+        return np.full(L, int(v), dtype=np.int64)
+    if isinstance(v, (float, np.floating)):
+        return np.full(L, float(v), dtype=np.float64)
+    return np.full(L, v, dtype=object)
+
+
+def vec_take(v: Any, idx: np.ndarray) -> Any:
+    """Reindex a lane vector by lane indices (uniforms pass through)."""
+    if isinstance(v, np.ndarray):
+        return v[idx]
+    if isinstance(v, SVec):
+        return SVec(tuple(vec_take(f, idx) for f in v.fields))
+    if isinstance(v, ArrVec):
+        return ArrVec(v.data[idx],
+                      None if v.lengths is None else v.lengths[idx])
+    if isinstance(v, Rows):
+        return Rows(v.base, v.idx[idx], v.host)
+    return v
+
+
+def vec_concat(a: Any, b: Any, La: int, Lb: int) -> Any:
+    """Concatenate two lane vectors along the lane axis."""
+    if not is_vec(a):
+        a = as_lane_vec(a, La)
+    if not is_vec(b):
+        b = as_lane_vec(b, Lb)
+    if isinstance(a, Rows) and isinstance(b, Rows) and a.base is b.base:
+        return Rows(a.base, np.concatenate([a.idx, b.idx]), a.host)
+    if isinstance(a, Rows) or isinstance(b, Rows):
+        a = _materialize(a)
+        b = _materialize(b)
+    if isinstance(a, SVec) and isinstance(b, SVec):
+        return SVec(tuple(vec_concat(x, y, La, Lb)
+                          for x, y in zip(a.fields, b.fields)))
+    if isinstance(a, ArrVec) and isinstance(b, ArrVec):
+        a, b = _pad_pair(a, b)
+        la = a.length_vec() if a.lengths is not None else \
+            np.full(La, a.data.shape[1], dtype=np.int64)
+        lb = b.length_vec() if b.lengths is not None else \
+            np.full(Lb, b.data.shape[1], dtype=np.int64)
+        return ArrVec(np.concatenate([a.data, b.data]),
+                      np.concatenate([la, lb]))
+    if isinstance(a, np.ndarray) and isinstance(b, np.ndarray):
+        return np.concatenate([a, b])
+    raise VecError("mixed value shapes in concatenation")
+
+
+def _pad_pair(a: ArrVec, b: ArrVec) -> Tuple[ArrVec, ArrVec]:
+    """Pad two ArrVecs to a common inner width."""
+    wa, wb = a.data.shape[1], b.data.shape[1]
+    if wa == wb:
+        return a, b
+    w = max(wa, wb)
+
+    def pad(v: ArrVec) -> ArrVec:
+        if v.data.shape[1] == w:
+            return v
+        shape = (v.data.shape[0], w) + v.data.shape[2:]
+        out = np.zeros(shape, dtype=v.data.dtype)
+        out[:, : v.data.shape[1]] = v.data
+        lens = v.lengths
+        if lens is None:
+            lens = np.full(v.data.shape[0], v.data.shape[1], dtype=np.int64)
+        return ArrVec(out, lens)
+
+    return pad(a), pad(b)
+
+
+def vec_where(cond: np.ndarray, tv: Any, ev: Any, L: int) -> Any:
+    """Per-lane select. ``cond`` is a boolean lane vector."""
+    if not is_vec(tv) and not is_vec(ev) and type(tv) is type(ev) and tv == ev:
+        return tv
+    tv = as_lane_vec(tv, L)
+    ev = as_lane_vec(ev, L)
+    if isinstance(tv, Rows) and isinstance(ev, Rows) and tv.base is ev.base:
+        return Rows(tv.base, np.where(cond, tv.idx, ev.idx), tv.host)
+    if isinstance(tv, Rows) or isinstance(ev, Rows):
+        tv = _materialize(tv)
+        ev = _materialize(ev)
+    if isinstance(tv, np.ndarray) and isinstance(ev, np.ndarray):
+        return np.where(cond, tv, ev)
+    if isinstance(tv, SVec) and isinstance(ev, SVec):
+        if len(tv.fields) != len(ev.fields):
+            raise VecError("struct arity mismatch in select")
+        return SVec(tuple(vec_where(cond, a, b, L)
+                          for a, b in zip(tv.fields, ev.fields)))
+    if isinstance(tv, ArrVec) and isinstance(ev, ArrVec):
+        tv, ev = _pad_pair(tv, ev)
+        sel = cond.reshape((L,) + (1,) * (tv.data.ndim - 1))
+        lt = tv.length_vec() if tv.lengths is not None else \
+            np.full(L, tv.data.shape[1], dtype=np.int64)
+        le = ev.length_vec() if ev.lengths is not None else \
+            np.full(L, ev.data.shape[1], dtype=np.int64)
+        lens = np.where(cond, lt, le)
+        if tv.lengths is None and ev.lengths is None and \
+                tv.data.shape[1] == ev.data.shape[1]:
+            lens = None
+        return ArrVec(np.where(sel, tv.data, ev.data), lens)
+    raise VecError("mixed value shapes in select")
+
+
+# ---------------------------------------------------------------------------
+# Vectorized primitive table
+# ---------------------------------------------------------------------------
+
+def _guard_div(a, b):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r = np.true_divide(a, b)
+    return np.where(np.asarray(b) != 0, r, 0.0)
+
+
+def _guard_idiv(a, b):
+    bz = np.asarray(b) != 0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r = np.floor_divide(a, np.where(bz, b, 1))
+    return np.where(bz, r, 0)
+
+
+def _guard_mod(a, b):
+    bz = np.asarray(b) != 0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r = np.mod(a, np.where(bz, b, 1))
+    return np.where(bz, r, 0)
+
+
+def _bool_op(fn):
+    def op(*args):
+        for a in args:
+            if isinstance(a, np.ndarray) and a.dtype != np.bool_:
+                raise VecError("logical primitive on non-boolean operand")
+            if not isinstance(a, (np.ndarray, bool, np.bool_)):
+                raise VecError("logical primitive on non-boolean operand")
+        return fn(*args)
+    return op
+
+
+def _pyfunc(fn, out_dtype):
+    """Element-wise application of the interpreter's own evaluator.
+
+    Used for transcendentals so the backend is *bit-identical* to
+    ``math.exp``/``math.log`` (NumPy's SIMD routines may differ in the
+    last ulp, which could flip a downstream comparison), and for string /
+    hash primitives NumPy has no kernel for."""
+    ufn = np.frompyfunc(fn, _arity_of(fn), 1)
+
+    def op(*args):
+        return ufn(*args).astype(out_dtype)
+    return op
+
+
+def _arity_of(fn) -> int:
+    return fn.__code__.co_argcount if hasattr(fn, "__code__") else 1
+
+
+_EXP = _pyfunc(math.exp, np.float64)
+_LOG = _pyfunc(PRIMS["log"].eval_fn, np.float64)
+_POW = _pyfunc(PRIMS["pow"].eval_fn, np.float64)
+_SIGMOID = _pyfunc(PRIMS["sigmoid"].eval_fn, np.float64)
+
+VEC_PRIMS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": _guard_div,
+    "idiv": _guard_idiv,
+    "mod": _guard_mod,
+    "neg": lambda a: -a,
+    "min": np.minimum,
+    "max": np.maximum,
+    "eq": lambda a, b: np.equal(a, b),
+    "ne": lambda a, b: np.not_equal(a, b),
+    "lt": lambda a, b: np.less(a, b),
+    "le": lambda a, b: np.less_equal(a, b),
+    "gt": lambda a, b: np.greater(a, b),
+    "ge": lambda a, b: np.greater_equal(a, b),
+    "and": _bool_op(np.logical_and),
+    "or": _bool_op(np.logical_or),
+    "not": _bool_op(np.logical_not),
+    "exp": _EXP,
+    "log": _LOG,
+    # np.sqrt is IEEE correctly rounded, identical to math.sqrt
+    "sqrt": lambda a: np.where(np.asarray(a) >= 0,
+                               np.sqrt(np.abs(a)), 0.0),
+    "abs": np.abs,
+    "pow": _POW,
+    "sigmoid": _SIGMOID,
+    "to_double": lambda a: np.asarray(a, dtype=np.float64),
+    "to_int": lambda a: _truncate(a),
+    "to_long": lambda a: _truncate(a),
+    "str_concat": _pyfunc(lambda a, b: a + b, object),
+    "str_len": _pyfunc(len, np.int64),
+    "str_char_at": _pyfunc(PRIMS["str_char_at"].eval_fn, object),
+    "hash": _pyfunc(PRIMS["hash"].eval_fn, np.int64),
+}
+
+#: scalar reducers safe for ufunc-tree evaluation (associative; ``sub``
+#: and friends are rejected, which is the associativity check the paper's
+#: reduce contract calls for)
+ASSOC_UFUNCS = {
+    "add": np.add,
+    "mul": np.multiply,
+    "min": np.minimum,
+    "max": np.maximum,
+    "and": np.logical_and,
+    "or": np.logical_or,
+}
+
+
+def _truncate(a):
+    a = np.asarray(a)
+    if a.dtype == np.bool_:
+        return a.astype(np.int64)
+    return np.trunc(a).astype(np.int64) if a.dtype.kind == "f" \
+        else a.astype(np.int64)
+
+
+def recognize_assoc_prim(block: Block) -> Optional[str]:
+    """``(a, b) => prim(a, b)`` with an associative prim, in either
+    argument order — the shape a ufunc reduction can execute directly."""
+    if len(block.params) != 2 or len(block.stmts) != 1:
+        return None
+    if len(block.results) != 1:
+        return None
+    d = block.stmts[0]
+    op = d.op
+    if not isinstance(op, Prim) or op.name not in ASSOC_UFUNCS:
+        return None
+    if len(d.syms) != 1 or not isinstance(block.results[0], Sym) \
+            or block.results[0].id != d.syms[0].id:
+        return None
+    a, b = block.params
+    ids = {x.id for x in op.args if isinstance(x, Sym)}
+    if len(op.args) == 2 and ids == {a.id, b.id}:
+        return op.name
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Static vectorizability scan
+# ---------------------------------------------------------------------------
+
+def plan_loop(loop: MultiLoop) -> Optional[str]:
+    """Static scan of one top-level loop; returns a fallback reason or
+    ``None`` when every construct has a vectorized lowering."""
+    share_keys, need_memo = loop_share_plan(loop.gens)
+    if need_memo:
+        # generators that share a key probe must also share the active
+        # mask, otherwise the first-probe/sibling-write cost split cannot
+        # be reproduced lane-wise
+        by_key: Dict[Any, Any] = {}
+        for g, (ck, kk) in zip(loop.gens, share_keys):
+            if kk is None:
+                continue
+            if kk in by_key and by_key[kk] != ck:
+                return "bucket key shared across generators with " \
+                       "differing conditions"
+            by_key.setdefault(kk, ck)
+    for g in loop.gens:
+        for b in g.blocks():
+            reason = _plan_block(b)
+            if reason is not None:
+                return reason
+        if g.kind in (GenKind.REDUCE, GenKind.BUCKET_REDUCE):
+            reason = _plan_reducer(g.reducer)
+            if reason is not None:
+                return reason
+    return None
+
+
+def _plan_reducer(block: Block) -> Optional[str]:
+    if recognize_assoc_prim(block) is not None:
+        return None
+    if len(block.stmts) == 1 and isinstance(block.stmts[0].op, Prim):
+        # a single non-associative prim (sub, div, ...) would change
+        # meaning under tree reduction
+        return (f"non-associative scalar reducer "
+                f"prim.{block.stmts[0].op.name}")
+    return None  # compound reducers are associative by the reduce contract
+
+
+def _plan_block(block: Block, nested: bool = False) -> Optional[str]:
+    for d in block.stmts:
+        op = d.op
+        if isinstance(op, (MakeKeyed, InputSource)):
+            return f"op {op.op_name()} inside a generator block"
+        if isinstance(op, CollPrim) and op.name not in COLL_PRIMS:
+            return f"unknown collection primitive {op.name}"
+        if isinstance(op, Prim) and op.name not in VEC_PRIMS:
+            return f"no vectorized lowering for prim.{op.name}"
+        if isinstance(op, IfThenElse):
+            for b in (op.then_block, op.else_block):
+                reason = _plan_block(b, nested)
+                if reason is not None:
+                    return reason
+        if isinstance(op, MultiLoop):
+            for g in op.gens:
+                if g.kind not in (GenKind.COLLECT, GenKind.REDUCE):
+                    return f"nested {g.kind.value} generator"
+                if g.flatten:
+                    return "nested flatten-Collect (ragged concatenation)"
+                for b in g.blocks():
+                    reason = _plan_block(b, nested=True)
+                    if reason is not None:
+                        return reason
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Stats accumulation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StatsDelta:
+    """Loop-local global tallies, committed into ``ExecStats`` only after
+    the whole loop vectorized successfully."""
+
+    op_counts: Counter = field(default_factory=Counter)
+    loop_iterations: int = 0
+    loops_executed: int = 0
+    elements_read: int = 0
+    bytes_read: int = 0
+    elements_emitted: int = 0
+    bytes_alloc: int = 0
+
+    def merge_into(self, stats) -> None:
+        stats.op_counts.update(self.op_counts)
+        stats.loop_iterations += self.loop_iterations
+        stats.loops_executed += self.loops_executed
+        stats.elements_read += self.elements_read
+        stats.bytes_read += self.bytes_read
+        stats.elements_emitted += self.elements_emitted
+        stats.bytes_alloc += self.bytes_alloc
+
+
+class _GenState:
+    """Accumulator of one nested generator across sequential trips."""
+
+    __slots__ = ("cols", "keeps", "acc", "seen")
+
+    def __init__(self):
+        self.cols: List[Any] = []
+        self.keeps: List[Any] = []
+        self.acc: Any = None
+        self.seen: Optional[np.ndarray] = None
+
+
+# ---------------------------------------------------------------------------
+# The vectorizer
+# ---------------------------------------------------------------------------
+
+class LoopVectorizer:
+    """Evaluates blocks over ``L`` lanes, tracking per-lane cost vectors.
+
+    ``host`` is the executing ``NumpyInterp``: uniform free symbols
+    resolve through its environment, and per-host caches (padded rows,
+    columnarized structs) live on it so they are shared across loops.
+    """
+
+    def __init__(self, host, L: int, delta: StatsDelta):
+        self.host = host
+        self.L = L
+        self.delta = delta
+        self.env: Dict[int, Any] = {}
+        self.ess = np.zeros(L, dtype=np.float64)
+        self.ovh = np.zeros(L, dtype=np.float64)
+        self.in_reducer = 0
+        self.in_reduce_value = 0
+        # single-slot popcount cache: consecutive defs in a block share the
+        # same mask object. Pinning the object (_mobj) keeps its id from
+        # being recycled by a later, different mask.
+        self._mobj: Optional[np.ndarray] = None
+        self._mn = L
+
+    # -- mask / cost helpers ---------------------------------------------
+
+    def count(self, mask: Optional[np.ndarray]) -> int:
+        if mask is None:
+            return self.L
+        if mask is not self._mobj:
+            self._mobj = mask
+            self._mn = int(mask.sum())
+        return self._mn
+
+    def full_mask(self, mask: Optional[np.ndarray]) -> np.ndarray:
+        return np.ones(self.L, dtype=np.bool_) if mask is None else mask
+
+    def add_ess(self, c, mask: Optional[np.ndarray]) -> None:
+        if mask is None:
+            self.ess += c
+        else:
+            np.add(self.ess, c, out=self.ess, where=mask)
+
+    def add_ovh(self, c, mask: Optional[np.ndarray]) -> None:
+        if mask is None:
+            self.ovh += c
+        else:
+            np.add(self.ovh, c, out=self.ovh, where=mask)
+
+    def count_read(self, tpe: T.Type, mask: Optional[np.ndarray],
+                   n: int) -> None:
+        c = READ_CYCLES * 0.5 if self.in_reducer else READ_CYCLES
+        self.add_ess(c, mask)
+        self.delta.elements_read += n
+        self.delta.bytes_read += tpe.byte_size * n
+
+    def count_alloc(self, tpe: T.Type, mask: Optional[np.ndarray],
+                    n=1) -> None:
+        if self.in_reduce_value:
+            return
+        if np.isscalar(n):
+            self.add_ess(WRITE_CYCLES * n, mask)
+            total = n * self.count(mask)
+        else:
+            self.add_ess(WRITE_CYCLES * n.astype(np.float64), mask)
+            total = int(n.sum() if mask is None else n[mask].sum())
+        if self.in_reducer:
+            return
+        self.delta.elements_emitted += total
+        self.delta.bytes_alloc += tpe.byte_size * total
+
+    # -- expression / block evaluation -----------------------------------
+
+    def lookup(self, e: Exp) -> Any:
+        if isinstance(e, Const):
+            return e.value
+        if isinstance(e, Sym):
+            if e.id in self.env:
+                return self.env[e.id]
+            if e.id in self.host.env:
+                return self.host.env[e.id]  # uniform host value
+            raise VecError(f"unbound symbol {e!r} in vectorized block")
+        raise VecError(f"cannot evaluate {e!r}")
+
+    def eval_block(self, block: Block, args: Sequence[Any],
+                   mask: Optional[np.ndarray]) -> Any:
+        if len(args) != len(block.params):
+            raise VecError("block arity mismatch")
+        if len(block.results) != 1:
+            raise VecError("multi-result block")
+        for p, a in zip(block.params, args):
+            self.env[p.id] = a
+        for d in block.stmts:
+            self.eval_def(d, mask)
+        return self.lookup(block.results[0])
+
+    # -- statement dispatch ----------------------------------------------
+
+    def eval_def(self, d: Def, mask: Optional[np.ndarray]) -> None:
+        op = d.op
+        n = self.count(mask)
+        names = self.host.opname_cache
+        nm = names.get(id(op))
+        if nm is None:
+            nm = names[id(op)] = op.op_name()
+        self.delta.op_counts[nm] += n
+        if isinstance(op, Prim):
+            spec = PRIMS[op.name]
+            args = [self.lookup(a) for a in op.args]
+            self.add_ess(spec.cost, mask)
+            if not any(is_vec(a) for a in args):
+                val = spec.eval_fn(*args)
+            else:
+                val = VEC_PRIMS[op.name](*args)
+            self.env[d.sym.id] = val
+        elif isinstance(op, ArrayApply):
+            rt = op.result_types()[0]
+            arr = self.lookup(op.arr)
+            idx = self.lookup(op.idx)
+            self.count_read(rt, mask, n)
+            self.env[d.sym.id] = self._apply(arr, idx, rt)
+        elif isinstance(op, ArrayLength):
+            self.add_ess(1.0, mask)
+            self.env[d.sym.id] = self._length(self.lookup(op.arr))
+        elif isinstance(op, MultiLoop):
+            self._nested_loop(d, op, mask)
+        elif isinstance(op, IfThenElse):
+            self.add_ovh(BRANCH_CYCLES, mask)
+            self.env[d.sym.id] = self._if_then_else(op, mask)
+        elif isinstance(op, StructNew):
+            self.add_ovh(len(op.values) * 0.5, mask)
+            vals = tuple(self.lookup(v) for v in op.values)
+            if not any(is_vec(v) for v in vals):
+                self.env[d.sym.id] = vals
+            else:
+                self.env[d.sym.id] = SVec(vals)
+        elif isinstance(op, StructField):
+            st = op.struct.tpe
+            fidx = st.field_names().index(op.fname)
+            self.add_ovh(0.5, mask)
+            v = self.lookup(op.struct)
+            if isinstance(v, SVec):
+                self.env[d.sym.id] = v.fields[fidx]
+            elif isinstance(v, tuple):
+                self.env[d.sym.id] = v[fidx]
+            else:
+                raise VecError("field access on non-struct value")
+        elif isinstance(op, BucketLookup):
+            self.env[d.sym.id] = self._bucket_lookup(op, mask, n)
+        elif isinstance(op, BucketKeys):
+            coll = self.lookup(op.coll)
+            if not isinstance(coll, Buckets):
+                raise VecError("BucketKeys on per-lane buckets")
+            self.env[d.sym.id] = list(coll.keys)
+        elif isinstance(op, CollPrim):
+            self.env[d.sym.id] = self._coll_prim(op, mask, n)
+        elif isinstance(op, ArrayLit):
+            elems = [self.lookup(e) for e in op.elems]
+            self.count_alloc(op.elem_type, mask, len(elems))
+            if not any(is_vec(e) for e in elems):
+                self.env[d.sym.id] = list(elems)
+            elif elems:
+                cols = [as_lane_vec(e, self.L) for e in elems]
+                if not all(isinstance(c, np.ndarray) for c in cols):
+                    raise VecError("array literal of non-scalar elements")
+                self.env[d.sym.id] = ArrVec(np.stack(cols, axis=1), None)
+            else:
+                self.env[d.sym.id] = []
+        else:
+            raise VecError(f"unvectorizable op {op.op_name()}")
+
+    # -- array access -----------------------------------------------------
+
+    def _apply(self, arr: Any, idx: Any, rt: T.Type) -> Any:
+        if isinstance(arr, SVec):
+            # per-lane array of structs, stored columnar
+            return SVec(tuple(self._apply(f, idx, ft)
+                              for f, (_, ft) in zip(
+                                  arr.fields,
+                                  rt.fields if isinstance(rt, T.Struct)
+                                  else ((None, rt),) * len(arr.fields))))
+        if isinstance(arr, Rows):
+            lens, pad = self.host.row_cache(arr.base)
+            if pad is None:
+                raise VecError("gathered rows have non-scalar elements")
+            j = np.clip(idx, 0, pad.shape[1] - 1) if pad.shape[1] else None
+            if j is None:
+                raise VecError("indexing into empty rows")
+            return pad[arr.idx, j]
+        if isinstance(arr, ArrVec):
+            w = arr.data.shape[1]
+            if w == 0:
+                raise VecError("indexing into empty rows")
+            j = np.clip(idx, 0, w - 1)
+            if isinstance(j, np.ndarray):
+                rows = arr.data[np.arange(self.L), j]
+            else:
+                rows = arr.data[:, int(j)]
+            if rows.ndim == 1:
+                return rows
+            return ArrVec(rows, None)
+        if is_vec(arr):
+            raise VecError("positional read of a scalar lane vector")
+        # uniform host collection
+        if not is_vec(idx):
+            try:
+                return arr[idx]
+            except (IndexError, KeyError, TypeError) as e:
+                raise VecError(f"host read failed: {e}") from None
+        base = arr.values if isinstance(arr, Buckets) else arr
+        return self._gather(base, idx, rt)
+
+    def _gather(self, base: Sequence[Any], idx: np.ndarray,
+                rt: T.Type) -> Any:
+        if len(base) == 0:
+            raise VecError("gather from an empty collection")
+        idx = np.clip(idx, 0, len(base) - 1)
+        if isinstance(rt, T.Struct):
+            cols = self.host.col_cache(base, rt)
+            return SVec(tuple(
+                c[idx] if isinstance(c, np.ndarray)
+                else Rows(c, idx, self.host)
+                for c in cols))
+        if isinstance(rt, (T.Coll, T.KeyedColl)):
+            return Rows(base, idx, self.host)
+        return self.host.np_cache(base)[idx]
+
+    def _length(self, arr: Any) -> Any:
+        if isinstance(arr, Rows):
+            lens, _ = self.host.row_cache(arr.base)
+            return lens[arr.idx]
+        if isinstance(arr, ArrVec):
+            return arr.length_vec()
+        if isinstance(arr, SVec):
+            return self._length(arr.fields[0])
+        if is_vec(arr):
+            raise VecError("length of a scalar lane vector")
+        try:
+            return len(arr)
+        except TypeError as e:
+            raise VecError(f"length failed: {e}") from None
+
+    # -- control flow ------------------------------------------------------
+
+    def _if_then_else(self, op: IfThenElse, mask: Optional[np.ndarray]):
+        cond = self.lookup(op.cond)
+        if not is_vec(cond):
+            branch = op.then_block if cond else op.else_block
+            return self.eval_block(branch, (), mask)
+        cond = cond.astype(np.bool_, copy=False)
+        mt = cond if mask is None else (mask & cond)
+        me = ~cond if mask is None else (mask & ~cond)
+        has_t = bool(mt.any())
+        has_e = bool(me.any())
+        tv = self.eval_block(op.then_block, (), mt) if has_t else None
+        ev = self.eval_block(op.else_block, (), me) if has_e else None
+        if not has_e:
+            return tv
+        if not has_t:
+            return ev
+        return vec_where(cond, tv, ev, self.L)
+
+    # -- keyed / collection ops -------------------------------------------
+
+    def _bucket_lookup(self, op: BucketLookup, mask: Optional[np.ndarray],
+                       n: int) -> Any:
+        rt = op.result_types()[0]
+        coll = self.lookup(op.coll)
+        key = self.lookup(op.key)
+        self.add_ess(BUCKET_CYCLES, mask)
+        self.count_read(rt, mask, n)
+        if not isinstance(coll, Buckets):
+            raise VecError("BucketLookup on per-lane buckets")
+        if not is_vec(key):
+            return coll.lookup(key)
+        if not isinstance(key, np.ndarray):
+            raise VecError("bucket lookup with non-scalar keys")
+        miss = len(coll.values)
+        index = coll._index
+        pos = np.fromiter((index.get(k, miss) for k in key.tolist()),
+                          dtype=np.int64, count=self.L)
+        ext = list(coll.values) + [coll.default]
+        return self._gather(ext, pos, rt)
+
+    def _coll_prim(self, op: CollPrim, mask: Optional[np.ndarray],
+                   n: int) -> Any:
+        spec = COLL_PRIMS[op.name]
+        rt = op.result_types()[0]
+        args = [self.lookup(a) for a in op.args]
+        if not any(is_vec(a) for a in args):
+            cycles, reads = spec.cost_fn(*args)
+            self.add_ess(cycles, mask)
+            self.delta.elements_read += reads * n
+            self.delta.bytes_read += reads * 8 * n
+            return spec.eval_fn(*args)
+        lanes = (np.arange(self.L) if mask is None
+                 else np.nonzero(mask)[0])
+        out = np.zeros(self.L, dtype=_np_dtype(rt))
+        ev, cf = spec.eval_fn, spec.cost_fn
+        er = br = 0
+        for l in lanes.tolist():
+            vals = [self._row_at(a, l) for a in args]
+            c, r = cf(*vals)
+            self.ess[l] += c
+            er += r
+            out[l] = ev(*vals)
+        self.delta.elements_read += er
+        self.delta.bytes_read += er * 8
+        return out
+
+    def _row_at(self, a: Any, l: int) -> Any:
+        """One lane's concrete value, as a host object."""
+        if isinstance(a, Rows):
+            return a.base[a.idx[l]]
+        if isinstance(a, ArrVec):
+            row = a.data[l]
+            if a.lengths is not None:
+                row = row[: a.lengths[l]]
+            return row.tolist()
+        if isinstance(a, SVec):
+            return tuple(self._row_at(f, l) for f in a.fields)
+        if isinstance(a, np.ndarray):
+            return a[l].item() if a.dtype != object else a[l]
+        return a  # uniform
+
+    # -- nested multiloops -------------------------------------------------
+
+    def _nested_loop(self, d: Def, loop: MultiLoop,
+                     mask: Optional[np.ndarray]) -> None:
+        gens = loop.gens
+        sizes = self.lookup(loop.size)
+        n = self.count(mask)
+        self.delta.loops_executed += n
+        if is_vec(sizes):
+            if not isinstance(sizes, np.ndarray):
+                raise VecError("non-scalar loop size")
+            sz = sizes
+            active_sz = sz if mask is None else sz[mask]
+            self.delta.loop_iterations += int(active_sz.sum()) if n else 0
+            trips = int(active_sz.max()) if n else 0
+        else:
+            sz = None
+            trips = int(sizes) if n else 0
+            self.delta.loop_iterations += int(sizes) * n
+        share_keys, need_memo = loop_share_plan(gens)
+        states = [_GenState() for _ in gens]
+        for t in range(trips):
+            if sz is not None:
+                live = sz > t
+                m_t = live if mask is None else (mask & live)
+                if not m_t.any():
+                    continue
+            else:
+                m_t = mask
+            memo = {} if need_memo else None
+            for g, st, sk in zip(gens, states, share_keys):
+                self._nested_gen_iter(g, st, t, m_t, memo, sk)
+        for s, g, st in zip(d.syms, gens, states):
+            self.env[s.id] = self._finish_nested(g, st, mask)
+
+    def _shared_cond(self, block: Block, t: int,
+                     mask: Optional[np.ndarray], memo, ckey) -> Any:
+        if memo is None or ckey is None:
+            return self.eval_block(block, (t,), mask)
+        if ckey in memo:
+            return memo[ckey]
+        v = self.eval_block(block, (t,), mask)
+        memo[ckey] = v
+        return v
+
+    def _nested_gen_iter(self, g: Generator, st: _GenState, t: int,
+                         mask: Optional[np.ndarray], memo, sk) -> None:
+        ckey, _ = sk
+        m = mask
+        if g.cond is not None:
+            self.add_ovh(BRANCH_CYCLES, m)
+            cv = self._shared_cond(g.cond, t, m, memo, ckey)
+            if is_vec(cv):
+                cv = cv.astype(np.bool_, copy=False)
+                m = cv if m is None else (m & cv)
+                if not m.any():
+                    return
+            elif not cv:
+                return
+        if g.kind is GenKind.COLLECT:
+            v = self.eval_block(g.value, (t,), m)
+            self.count_alloc(g.value_type, m, 1)
+            st.cols.append(v)
+            st.keeps.append(self.full_mask(m))
+        else:  # REDUCE
+            self.in_reduce_value += 1
+            try:
+                v = self.eval_block(g.value, (t,), m)
+            finally:
+                self.in_reduce_value -= 1
+            full = self.full_mask(m)
+            if st.seen is None:
+                st.acc = as_lane_vec(v, self.L)
+                st.seen = full.copy()
+                return
+            rest = full & st.seen
+            first = full & ~st.seen
+            if rest.any():
+                self.in_reducer += 1
+                try:
+                    r = self.eval_block(g.reducer, (st.acc, v), rest)
+                finally:
+                    self.in_reducer -= 1
+                st.acc = vec_where(rest, r, st.acc, self.L)
+            if first.any():
+                st.acc = vec_where(first, v, st.acc, self.L)
+            st.seen |= full
+
+    def _finish_nested(self, g: Generator, st: _GenState,
+                       mask: Optional[np.ndarray]) -> Any:
+        if g.kind is GenKind.COLLECT:
+            return self._assemble_collect(g, st, mask)
+        # REDUCE: lanes that saw no element fall back to init/identity
+        if g.init is not None:
+            ident = self.lookup(g.init)
+        else:
+            ident = g.identity_value()
+        if st.seen is None:
+            return as_lane_vec(ident, self.L)
+        if bool(st.seen.all()):
+            return st.acc
+        return vec_where(st.seen, st.acc, as_lane_vec(ident, self.L),
+                         self.L)
+
+    def _assemble_collect(self, g: Generator, st: _GenState,
+                          mask: Optional[np.ndarray]) -> Any:
+        cols, keeps = st.cols, st.keeps
+        if not cols:
+            dt = _np_dtype(g.value_type)
+            return ArrVec(np.zeros((self.L, 0), dtype=dt),
+                          np.zeros(self.L, dtype=np.int64))
+        vals = [as_lane_vec(v, self.L) for v in cols]
+        if all(isinstance(v, SVec) for v in vals):
+            arity = len(vals[0].fields)
+            fields = []
+            for fi in range(arity):
+                fields.append(self._assemble_field(
+                    [v.fields[fi] for v in vals], keeps, mask))
+            return SVec(tuple(fields))
+        return self._assemble_field(vals, keeps, mask)
+
+    def _assemble_field(self, vals: List[Any], keeps: List[np.ndarray],
+                        mask: Optional[np.ndarray]) -> ArrVec:
+        # Raggedness checks only inspect lanes live under each trip's keep
+        # mask: lanes outside the evaluation mask hold garbage lengths and
+        # must not trigger a spurious fallback.
+        vals = [as_lane_vec(v, self.L) for v in vals]
+        if all(isinstance(v, np.ndarray) for v in vals):
+            data = np.stack(vals, axis=1)            # (L, T)
+        elif all(isinstance(v, (ArrVec, Rows)) for v in vals):
+            mats = []
+            w = None
+            for v, kp in zip(vals, keeps):
+                if isinstance(v, Rows):
+                    lens, pad = self.host.row_cache(v.base)
+                    if pad is None:
+                        raise VecError("collect of non-scalar rows")
+                    lv = lens[v.idx][kp]
+                    if lv.size and int(lv.min()) != int(lv.max()):
+                        raise VecError("collect of ragged rows")
+                    wt = int(lv[0]) if lv.size else 0
+                    v = ArrVec(pad[v.idx][:, :wt], None)
+                elif v.lengths is not None:
+                    lv = v.lengths[kp]
+                    if lv.size and int(lv.min()) != int(lv.max()):
+                        raise VecError("collect of ragged rows")
+                    wt = int(lv[0]) if lv.size else 0
+                    v = ArrVec(v.data[:, :wt], None)
+                wt = v.data.shape[1]
+                if w is None:
+                    w = wt
+                elif wt != w:
+                    raise VecError("collect of ragged rows")
+                mats.append(v.data)
+            data = np.stack(mats, axis=1)            # (L, T, W, ...)
+        else:
+            raise VecError("mixed element shapes in nested collect")
+        K = np.stack(keeps, axis=1)                  # (L, T)
+        if bool(K.all()):
+            return ArrVec(data, None)
+        lens = K.sum(axis=1)
+        w = int(lens.max()) if lens.size else 0
+        out = np.zeros((self.L, w) + data.shape[2:], dtype=data.dtype)
+        lane_i, _ = np.nonzero(K)
+        pos = K.cumsum(axis=1) - 1
+        out[lane_i, pos[K]] = data[K]
+        live = lens if mask is None else lens[mask]
+        if live.size and int(live.min()) == int(live.max()) == w:
+            return ArrVec(out, None)
+        return ArrVec(out, lens.astype(np.int64))

@@ -62,7 +62,7 @@ class AppBundle:
         self.data_scale = data_scale if data_scale is not None else scale
         self.iterative = iterative
         self._compiled: Dict[str, CompiledProgram] = {}
-        self._captures: Dict[str, RunCapture] = {}
+        self._captures: Dict[tuple, RunCapture] = {}
 
     def compiled(self, variant: str = "opt") -> CompiledProgram:
         if variant not in self._compiled:
@@ -78,20 +78,26 @@ class AppBundle:
             self._compiled[variant] = c
         return self._compiled[variant]
 
-    def capture(self, variant: str = "opt") -> RunCapture:
-        if variant not in self._captures:
-            self._captures[variant] = capture_run(self.compiled(variant),
-                                                  self.inputs)
-        return self._captures[variant]
+    def capture(self, variant: str = "opt",
+                backend: Optional[str] = None) -> RunCapture:
+        from ..backend import resolve_backend
+        key = (variant, resolve_backend(backend))
+        if key not in self._captures:
+            self._captures[key] = capture_run(self.compiled(variant),
+                                              self.inputs, backend=key[1])
+        return self._captures[key]
 
     def simulate(self, variant: str = "opt", cluster=None, profile=None,
-                 **opt_kwargs):
+                 backend: Optional[str] = None, **opt_kwargs):
         """Price this bundle's cached capture on a machine/profile combo.
 
         Extra keyword arguments land on ``ExecOptions`` — including the
         observability knobs (``tracer=``, ``metrics=``), which is how the
         CLI profiler attaches to a bundle run. ``scale``/``data_scale``
-        default to the bundle's own factors."""
+        default to the bundle's own factors. ``backend`` picks the
+        functional engine for the capture (reference interpreter or
+        vectorized NumPy); the priced simulated time is backend-invariant
+        because the cycle accounting is."""
         from ..runtime.executor import ExecOptions, Simulator
         from ..runtime.machine import DMLL_CPP, NUMA_BOX
         opt_kwargs.setdefault("scale", self.scale)
@@ -100,7 +106,7 @@ class AppBundle:
                         NUMA_BOX if cluster is None else cluster,
                         DMLL_CPP if profile is None else profile,
                         ExecOptions(**opt_kwargs))
-        return sim.price(self.capture(variant))
+        return sim.price(self.capture(variant, backend=backend))
 
 
 def _kmeans_bundle() -> AppBundle:

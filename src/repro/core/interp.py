@@ -84,6 +84,14 @@ class LoopObserver:
     def on_iteration_cost(self, d: Def, i: int, cycles: float) -> None:  # pragma: no cover
         pass
 
+    def on_iteration_costs(self, d: Def, costs: Sequence[float]) -> None:
+        """Bulk delivery of one loop's per-iteration costs. The vectorized
+        backend computes all iteration costs at once and hands them over in
+        a single call; the default keeps per-iteration observers working."""
+        for i, c in enumerate(costs):
+            self.on_iteration(d, i)
+            self.on_iteration_cost(d, i, c)
+
     def on_loop_end(self, d: Def) -> None:  # pragma: no cover
         pass
 
@@ -107,6 +115,10 @@ class MultiObserver(LoopObserver):
     def on_iteration_cost(self, d: Def, i: int, cycles: float) -> None:
         for o in self.observers:
             o.on_iteration_cost(d, i, cycles)
+
+    def on_iteration_costs(self, d: Def, costs: Sequence[float]) -> None:
+        for o in self.observers:
+            o.on_iteration_costs(d, costs)
 
     def on_loop_end(self, d: Def) -> None:
         for o in self.observers:
@@ -319,18 +331,28 @@ class Interp:
         # functions share one evaluation per iteration in generated code
         # (that is the point of fusing them); mirror that here so the cost
         # accounting matches what the backends emit.
-        share_keys = [(self._alpha(g.cond), self._alpha(g.key)) for g in gens]
-        multi = len(gens) > 1
-        track_iter_cost = obs is not None
-        for i in range(size):
-            if obs is not None:
+        share_keys, need_memo = loop_share_plan(gens)
+        triples = list(zip(gens, accs, share_keys))
+        if obs is None:
+            # hot path: no per-iteration hooks, no per-iteration cost
+            # frames, and no memo dict unless two generators can actually
+            # share an evaluation
+            if need_memo:
+                for i in range(size):
+                    memo = {}
+                    for g, acc, sk in triples:
+                        self._eval_gen_iter(g, acc, i, memo, sk)
+            else:
+                for i in range(size):
+                    for g, acc, sk in triples:
+                        self._eval_gen_iter(g, acc, i, None, sk)
+        else:
+            for i in range(size):
                 obs.on_iteration(d, i)
-            if track_iter_cost:
                 self._push_frame()
-            memo = {} if multi else None
-            for g, acc, sk in zip(gens, accs, share_keys):
-                self._eval_gen_iter(g, acc, i, memo, sk)
-            if track_iter_cost:
+                memo = {} if need_memo else None
+                for g, acc, sk in triples:
+                    self._eval_gen_iter(g, acc, i, memo, sk)
                 f = self._frames[-1]
                 cost = f[0] + f[1]
                 self._pop_frame()
@@ -344,14 +366,7 @@ class Interp:
     _alpha_cache: Dict[int, object] = {}
 
     def _alpha(self, block: Optional[Block]):
-        if block is None:
-            return None
-        key = Interp._alpha_cache.get(id(block))
-        if key is None:
-            from .ir import alpha_key
-            key = ("k",) + (alpha_key(block),)
-            Interp._alpha_cache[id(block)] = key
-        return key
+        return _alpha_of(block)
 
     def _shared_eval(self, block: Block, i: int, memo, mkey):
         """Evaluate a generator component, reusing an alpha-equivalent
@@ -453,6 +468,47 @@ class Interp:
                 return g.identity_value()
             return acc[0]
         return acc
+
+
+_ALPHA_CACHE: Dict[int, object] = {}
+
+
+def _alpha_of(block: Optional[Block]):
+    """Alpha-equivalence key of a generator component block (cached by
+    block identity); ``None`` for an absent component."""
+    if block is None:
+        return None
+    key = _ALPHA_CACHE.get(id(block))
+    if key is None:
+        from .ir import alpha_key
+        key = ("k",) + (alpha_key(block),)
+        _ALPHA_CACHE[id(block)] = key
+    return key
+
+
+def loop_share_plan(gens: Sequence[Generator]):
+    """Per-generator (cond, key) alpha keys plus whether any evaluation can
+    actually be shared between generators of one fused loop.
+
+    The per-iteration memo dict is pure overhead unless at least two
+    generators carry alpha-equivalent cond/key blocks (cond and key share
+    one value namespace: a key block alpha-equal to a sibling's cond reuses
+    its value). Both the interpreter and the vectorized backend key their
+    sharing off this plan so their cost accounting agrees.
+    """
+    share_keys = [(_alpha_of(g.cond), _alpha_of(g.key)) for g in gens]
+    need_memo = False
+    if len(gens) > 1:
+        seen = set()
+        for ck, kk in share_keys:
+            for k in (ck, kk):
+                if k is None:
+                    continue
+                if k in seen:
+                    need_memo = True
+                else:
+                    seen.add(k)
+    return share_keys, need_memo
 
 
 class _StatSnapshot:

@@ -118,11 +118,23 @@ class CompiledProgram:
         program expects."""
         return soa_input_values(self.program, inputs)
 
-    def run(self, inputs: Dict[str, object], observer=None):
-        """Execute on the reference interpreter (results, stats)."""
+    def run(self, inputs: Dict[str, object], observer=None, backend=None):
+        """Execute on the selected backend, returning (results, stats).
+
+        ``backend`` is resolved by ``repro.backend.resolve_backend``:
+        explicit argument > ``REPRO_BACKEND`` env var > ``"reference"``.
+        The vectorized backend produces identical results and stats; any
+        per-loop fallback it takes is recorded on the interpreter, not
+        surfaced here (use ``capture_run`` for the full record)."""
+        from .backend import resolve_backend
+        prepared = self.prepare_inputs(inputs)
+        if resolve_backend(backend) == "numpy":
+            from .backend import run_program_numpy
+            results, stats, _ = run_program_numpy(self.program, prepared,
+                                                  observer=observer)
+            return results, stats
         from .core.interp import run_program
-        return run_program(self.program, self.prepare_inputs(inputs),
-                           observer=observer)
+        return run_program(self.program, prepared, observer=observer)
 
 
 def compile_program(prog: Program, target: str = "cpu",

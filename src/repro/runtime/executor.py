@@ -100,6 +100,8 @@ class SimResult:
     stats: ExecStats
     loops: List[LoopSim] = field(default_factory=list)
     total_seconds: float = 0.0
+    backend: str = "reference"
+    fallbacks: List[Any] = field(default_factory=list)
 
     def breakdown(self) -> str:
         lines = [f"total {self.total_seconds * 1e3:.3f} ms"]
@@ -128,6 +130,12 @@ class _PerIterObserver(LoopObserver):
         lst = self.costs.get(d.syms[0].id)
         if lst is not None:
             lst.append(cycles)
+
+    def on_iteration_costs(self, d: Def, cycles) -> None:
+        # bulk hook used by the vectorized backend (one call per loop)
+        lst = self.costs.get(d.syms[0].id)
+        if lst is not None:
+            lst.extend(cycles)
 
 
 def _deep_bytes(value: Any, tpe: T.Type) -> int:
@@ -158,23 +166,38 @@ class RunCapture:
     stats: ExecStats
     per_iter: Dict[int, List[float]]
     footprints: Dict[int, int]   # unscaled payload bytes per collection
+    backend: str = "reference"
+    #: per-loop FallbackRecord list (vectorized backend only; empty means
+    #: every loop executed vectorized)
+    fallbacks: List[Any] = field(default_factory=list)
 
 
 def capture_run(compiled: CompiledProgram, inputs: Dict[str, Any],
-                observer: Optional[LoopObserver] = None) -> RunCapture:
+                observer: Optional[LoopObserver] = None,
+                backend: Optional[str] = None) -> RunCapture:
     """Execute once on the instrumented interpreter.
 
     ``observer`` composes an extra hook (e.g. ``repro.obs.MetricsObserver``)
-    with the per-iteration cost collector."""
+    with the per-iteration cost collector. ``backend`` selects the
+    functional engine (``repro.backend.resolve_backend`` policy); the
+    vectorized backend yields identical results/stats and records any
+    per-loop interpreter fallbacks on the capture."""
+    from ..backend import resolve_backend
+    backend = resolve_backend(backend)
     prog = compiled.program
     prepared = compiled.prepare_inputs(inputs)
     top_ids = [d.syms[0].id for d in prog.body.stmts
                if isinstance(d.op, MultiLoop)]
     obs = _PerIterObserver(top_ids)
-    interp = Interp(observer=obs if observer is None
-                    else MultiObserver(obs, observer))
+    composed = obs if observer is None else MultiObserver(obs, observer)
+    if backend == "numpy":
+        from ..backend import NumpyInterp
+        interp = NumpyInterp(observer=composed)
+    else:
+        interp = Interp(observer=composed)
     results = interp.eval_program(prog, prepared)
     stats = interp.stats
+    fallbacks = list(getattr(interp, "fallbacks", ()))
 
     footprints: Dict[int, int] = {}
     for d in prog.body.stmts:
@@ -184,7 +207,8 @@ def capture_run(compiled: CompiledProgram, inputs: Dict[str, Any],
     for rec in stats.def_records:
         if rec.sym_id not in footprints and rec.output_len:
             footprints[rec.sym_id] = max(rec.bytes_alloc, rec.output_len * 8)
-    return RunCapture(compiled, results, stats, obs.costs, footprints)
+    return RunCapture(compiled, results, stats, obs.costs, footprints,
+                      backend, fallbacks)
 
 
 class Simulator:
@@ -200,8 +224,10 @@ class Simulator:
 
     # -- entry points ------------------------------------------------------
 
-    def run(self, inputs: Dict[str, Any]) -> SimResult:
-        return self.price(capture_run(self.compiled, inputs))
+    def run(self, inputs: Dict[str, Any],
+            backend: Optional[str] = None) -> SimResult:
+        return self.price(capture_run(self.compiled, inputs,
+                                      backend=backend))
 
     def price(self, cap: RunCapture) -> SimResult:
         prog = self.compiled.program
@@ -211,14 +237,16 @@ class Simulator:
         tr = self.options.tracer
         self._obs = tr is not None and tr.enabled
         self._mx = self.options.metrics
-        sim = SimResult(cap.results, cap.stats)
+        sim = SimResult(cap.results, cap.stats, backend=cap.backend,
+                        fallbacks=list(cap.fallbacks))
         root: Optional["Span"] = None
         if self._obs:
             root = tr.begin_run(
                 self.cluster.name, target=self.compiled.target,
                 **self.cluster.describe(), **self.profile.describe(),
                 cores=self.options.cores, sequential=self.options.sequential,
-                use_gpu=self.options.use_gpu, scale=self.options.scale)
+                use_gpu=self.options.use_gpu, scale=self.options.scale,
+                backend=cap.backend)
         cursor = 0.0
         for rec in cap.stats.def_records:
             if not rec.is_loop:
@@ -247,6 +275,9 @@ class Simulator:
             self._mx.gauge("interp.loop_iterations",
                            cap.stats.loop_iterations)
             self._mx.gauge("interp.total_cycles", cap.stats.total_cycles)
+            for fb in cap.fallbacks:
+                self._mx.inc("backend.fallback", loop=str(fb.loop),
+                             reason=fb.reason)
         return sim
 
     # -- helpers ---------------------------------------------------------

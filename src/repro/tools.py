@@ -11,6 +11,7 @@ Usage::
     python -m repro.tools kmeans --trace         # per-pass table
     python -m repro.tools kmeans --verify-each   # verifier at every pass
     python -m repro.tools kmeans --profile       # per-loop time breakdown
+    python -m repro.tools kmeans --profile --backend numpy  # vectorized
     python -m repro.tools kmeans --trace-out t.json   # Chrome trace
     python -m repro.tools kmeans --metrics       # runtime counters
     python -m repro.tools --list
@@ -75,13 +76,22 @@ def _run_observed(args) -> int:
     metrics = MetricsRegistry()
     cluster = single_node(GPU_CLUSTER) if gpu else NUMA_BOX
     sim = bundle.simulate(variant, cluster=cluster, use_gpu=gpu,
-                          gpu_transposed=gpu, tracer=tracer, metrics=metrics)
+                          gpu_transposed=gpu, tracer=tracer, metrics=metrics,
+                          backend=args.backend)
     tracer.last_run.name = f"{args.app}:{cluster.name}"
 
     if args.profile:
         print(profile_report(
             sim, title=f"{args.app} on {cluster.name} "
                        f"({'GPU' if gpu else 'CPU'}), simulated time"))
+        print(f"execution backend: {sim.backend}")
+        if sim.backend != "reference":
+            if sim.fallbacks:
+                for fb in sim.fallbacks:
+                    print(f"  fallback {fb.loop} ({fb.op}): {fb.reason}")
+            else:
+                print("  all loops vectorized "
+                      "(no interpreter fallbacks)")
         for d in bundle.compiled(variant).diagnostics:
             print(d.render())
     if args.metrics:
@@ -119,6 +129,10 @@ def main(argv=None) -> int:
                          "simulated run")
     ap.add_argument("--metrics", action="store_true",
                     help="print runtime metrics of the simulated run")
+    ap.add_argument("--backend", choices=("reference", "numpy"),
+                    default=None,
+                    help="functional execution engine for observed runs "
+                         "(default: $REPRO_BACKEND or reference)")
     args = ap.parse_args(argv)
 
     if args.list or not args.app:

@@ -4,8 +4,19 @@ Per-pass IR verification is opt-in in production (``DEFAULT_VERIFY`` is
 False — it costs a full IR walk per pass) but on for the whole test
 suite: every ``compile_program``/``optimize`` call in any test checks
 the structural invariants at every pass boundary.
+
+Execution backend: setting ``REPRO_BACKEND=numpy`` in the environment
+routes every ``CompiledProgram.run`` / ``capture_run`` in the suite
+through the vectorized backend (``repro.backend.resolve_backend`` reads
+the variable) — the CI matrix runs one leg per backend. The header line
+below makes the active backend visible in the pytest report.
 """
 
 import repro.pipeline as pipeline
 
 pipeline.DEFAULT_VERIFY = True
+
+
+def pytest_report_header(config):
+    from repro.backend import resolve_backend
+    return f"repro execution backend: {resolve_backend()}"

@@ -1,0 +1,208 @@
+"""Differential tests for the vectorized NumPy backend.
+
+The backend contract is strict: for any program the numpy backend must
+produce results *and* ``ExecStats`` identical to the reference
+interpreter — cycle accounting is analytic, so vectorizing execution may
+change wall-clock only, never the priced cost. Every loop it cannot
+vectorize must fall back to the reference path (recorded, not silent),
+which keeps the contract trivially true for unsupported shapes.
+
+All eight bundled apps must additionally run with *zero* fallbacks —
+the acceptance bar for the backend actually covering the paper's
+workloads.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import frontend as F
+from repro.backend import (FallbackRecord, resolve_backend,
+                           run_program_numpy)
+from repro.bench.apps import get_bundle
+from repro.core import run_program
+from repro.core import types as T
+from repro.core.values import deep_eq
+from repro.pipeline import compile_program, optimize
+
+APPS = ["kmeans", "logreg", "gda", "q1", "gene", "pagerank", "triangle",
+        "gibbs"]
+
+STAT_FIELDS = ["total_cycles", "elements_read", "bytes_read",
+               "elements_emitted", "bytes_alloc", "loops_executed",
+               "loop_iterations"]
+
+
+def assert_stats_equal(ref, vec):
+    for f in STAT_FIELDS:
+        assert getattr(ref, f) == getattr(vec, f), (
+            f"stats field {f}: reference={getattr(ref, f)!r} "
+            f"numpy={getattr(vec, f)!r}")
+    assert dict(ref.op_counts) == dict(vec.op_counts)
+    # per-def records carry the essential/overhead split the pricing
+    # model consumes — they must match record-for-record
+    assert ref.def_records == vec.def_records
+
+
+def run_both(prog, inputs):
+    ref_results, ref_stats = run_program(prog, inputs)
+    vec_results, vec_stats, fallbacks = run_program_numpy(prog, inputs)
+    assert deep_eq(ref_results, vec_results)
+    assert_stats_equal(ref_stats, vec_stats)
+    return fallbacks
+
+
+# ---------------------------------------------------------------------------
+# The eight bundled applications
+# ---------------------------------------------------------------------------
+
+class TestBundledApps:
+    @pytest.mark.parametrize("app", APPS)
+    def test_identical_and_fully_vectorized(self, app):
+        bundle = get_bundle(app)
+        compiled = bundle.compiled("opt")
+        inputs = compiled.prepare_inputs(bundle.inputs)
+        fallbacks = run_both(compiled.program, inputs)
+        assert fallbacks == [], (
+            f"{app} fell back to the interpreter: "
+            f"{[(f.loop, f.reason) for f in fallbacks]}")
+
+    def test_capture_records_backend_and_per_iter(self):
+        from repro.runtime.executor import capture_run
+        bundle = get_bundle("logreg")
+        ref = capture_run(bundle.compiled("opt"), bundle.inputs,
+                          backend="reference")
+        vec = capture_run(bundle.compiled("opt"), bundle.inputs,
+                          backend="numpy")
+        assert ref.backend == "reference" and vec.backend == "numpy"
+        assert vec.fallbacks == []
+        assert deep_eq(ref.results, vec.results)
+        assert_stats_equal(ref.stats, vec.stats)
+        # the per-iteration cost streams feed load-imbalance bounds and
+        # must match element-for-element
+        assert set(ref.per_iter) == set(vec.per_iter)
+        for k in ref.per_iter:
+            assert ref.per_iter[k] == vec.per_iter[k]
+
+    def test_simulated_price_backend_invariant(self):
+        bundle = get_bundle("q1")
+        ref = bundle.simulate("opt", backend="reference")
+        vec = bundle.simulate("opt", backend="numpy")
+        assert ref.total_seconds == vec.total_seconds
+        assert vec.backend == "numpy" and vec.fallbacks == []
+
+
+# ---------------------------------------------------------------------------
+# Backend selection plumbing
+# ---------------------------------------------------------------------------
+
+class TestSelection:
+    def test_resolve_policy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(None) == "reference"
+        assert resolve_backend("numpy") == "numpy"
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert resolve_backend(None) == "numpy"
+        assert resolve_backend("reference") == "reference"
+        with pytest.raises(ValueError):
+            resolve_backend("cuda")
+
+    def test_compiled_run_backend_param(self):
+        bundle = get_bundle("logreg")
+        compiled = bundle.compiled("opt")
+        r1, s1 = compiled.run(bundle.inputs, backend="reference")
+        r2, s2 = compiled.run(bundle.inputs, backend="numpy")
+        assert deep_eq(r1, r2)
+        assert_stats_equal(s1, s2)
+
+
+# ---------------------------------------------------------------------------
+# Recorded fallback on unvectorizable loops
+# ---------------------------------------------------------------------------
+
+class TestFallback:
+    def test_non_associative_reducer_falls_back(self):
+        # a - b is not associative: the planner must reject the ufunc
+        # path and the loop must still produce interpreter-identical
+        # results through the recorded fallback
+        prog = F.build(lambda xs: xs.reduce(lambda a, b: a - b, 0),
+                       [F.InputSpec("xs", T.Coll(T.INT), True)])
+        inputs = {"xs": [5, 3, 9, 1]}
+        ref_results, ref_stats = run_program(prog, inputs)
+        vec_results, vec_stats, fallbacks = run_program_numpy(prog, inputs)
+        assert deep_eq(ref_results, vec_results)
+        assert_stats_equal(ref_stats, vec_stats)
+        assert len(fallbacks) == 1
+        assert isinstance(fallbacks[0], FallbackRecord)
+        assert "associative" in fallbacks[0].reason
+
+
+# ---------------------------------------------------------------------------
+# Property: random small multiloops, both backends agree exactly
+# ---------------------------------------------------------------------------
+
+SETTINGS = dict(max_examples=40, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+ints_data = st.lists(st.integers(min_value=-50, max_value=50),
+                     min_size=0, max_size=30)
+
+# map/filter bodies (filter introduces a generator cond)
+_OPS = [
+    ("map_add", lambda r: r.map(lambda x: x + 3)),
+    ("map_mul", lambda r: r.map(lambda x: x * 2)),
+    ("filter_even", lambda r: r.filter(lambda x: x % 2 == 0)),
+    ("filter_pos", lambda r: r.filter(lambda x: x > 0)),
+]
+
+# sinks cover all four generator kinds: Collect, Reduce, BucketCollect,
+# BucketReduce
+_SINKS = [
+    ("collect", lambda r: r),
+    ("sum", lambda r: r.sum()),
+    ("min", lambda r: r.reduce(lambda a, b: F.fmin(a, b), 99)),
+    ("group_by", lambda r: r.group_by(lambda x: x % 2)),
+    ("group_sum", lambda r: r.group_by_reduce(lambda x: x % 3, lambda x: x,
+                                              lambda a, b: a + b)),
+]
+
+pipeline_strategy = st.tuples(
+    st.lists(st.sampled_from(_OPS), min_size=0, max_size=3),
+    st.lists(st.sampled_from(_SINKS), min_size=1, max_size=2))
+
+
+def build_pipeline(ops, sinks):
+    def fn(xs):
+        r = xs
+        for _, op in ops:
+            r = op(r)
+        outs = tuple(sink(r) for _, sink in sinks)
+        return outs if len(outs) > 1 else outs[0]
+    return F.build(fn, [F.InputSpec("xs", T.Coll(T.INT), True)])
+
+
+class TestPropertyDifferential:
+    @given(pipeline_strategy, ints_data)
+    @settings(**SETTINGS)
+    def test_backends_agree_on_random_multiloops(self, spec, data):
+        ops, sinks = spec
+        prog = build_pipeline(ops, sinks)
+        run_both(prog, {"xs": data})
+
+    @given(pipeline_strategy, ints_data)
+    @settings(**SETTINGS)
+    def test_backends_agree_on_fused_programs(self, spec, data):
+        # two sinks off one shared pipeline fuse horizontally into
+        # multi-generator loops; optimize() also fuses vertically
+        ops, sinks = spec
+        prog = optimize(build_pipeline(ops, sinks))
+        run_both(prog, {"xs": data})
+
+    @given(pipeline_strategy, ints_data)
+    @settings(**SETTINGS)
+    def test_backends_agree_after_full_compile(self, spec, data):
+        ops, sinks = spec
+        compiled = compile_program(build_pipeline(ops, sinks),
+                                   "distributed")
+        inputs = compiled.prepare_inputs({"xs": data})
+        run_both(compiled.program, inputs)
