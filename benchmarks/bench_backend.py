@@ -13,8 +13,8 @@ top-level ``BENCH_backend.json`` consumed by CI.
 
 from statistics import median
 
-from conftest import (emit, emit_json, measure_backends, once, record_sim,
-                      write_bench_backend)
+from conftest import (emit, emit_json, measure_backends, once, profile_loops,
+                      record_history, record_sim, write_bench_backend)
 
 from repro.bench import get_bundle
 from repro.report.tables import render_table
@@ -38,8 +38,19 @@ def test_backend_wallclock(benchmark):
     rows = []
     for app in APPS:
         s = summary[app]
-        sim = get_bundle(app).simulate("opt", backend="numpy")
+        bundle = get_bundle(app)
+        # per-loop host wall-clock attribution under both backends: the
+        # aggregate speedup says *whether* vectorization paid off, the
+        # attribution says *which loop* is responsible when it didn't
+        # (cf. gibbs, DESIGN.md §8e)
+        s["per_loop"] = {
+            backend: profile_loops(bundle.compiled("opt"), bundle.inputs,
+                                   backend)
+            for backend in ("reference", "numpy")
+        }
+        sim = bundle.simulate("opt", backend="numpy")
         record_sim("backend_wallclock", f"{app}/numpy", sim, wall=s)
+        record_history(app, s, sim=sim)
         rows.append([app, f"{s['reference_s'] * 1e3:9.2f}",
                      f"{s['numpy_s'] * 1e3:9.2f}",
                      f"{s['speedup']:6.1f}x",

@@ -100,9 +100,82 @@ def measure_backends(app: str, repeats: int = 3) -> dict:
         "speedup": ref_s / np_s if np_s > 0 else float("inf"),
         "identical_results": deep_eq(ref_res, np_res),
         "identical_cycles": ref_stats.total_cycles == np_stats.total_cycles,
+        "cycles": ref_stats.total_cycles,
         "fallbacks": [{"loop": str(f.loop), "op": f.op, "reason": f.reason}
                       for f in fallbacks],
     }
+
+
+# ---------------------------------------------------------------------------
+# Per-loop host wall-clock attribution
+# ---------------------------------------------------------------------------
+#
+# The loop observers cannot time the numpy backend: its hooks fire
+# back-to-back at the *end* of a vectorized loop (stats are staged until
+# the loop is known not to fall back, so a mid-loop failure leaves the
+# accounting untouched). Timing therefore wraps ``_eval_loop`` itself in
+# interpreter subclasses; only top-level loops are attributed — time
+# spent in loops nested inside a fallback rolls up into their parent,
+# matching how the simulator's per-loop breakdown reports them.
+
+def _timed_interp(base):
+    class Timed(base):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.loop_wall = {}
+            self.loop_ops = {}
+            self._timing_depth = 0
+
+        def _eval_loop(self, d, loop):
+            if self._timing_depth:
+                return super()._eval_loop(d, loop)
+            self._timing_depth += 1
+            t0 = time.perf_counter()
+            try:
+                return super()._eval_loop(d, loop)
+            finally:
+                self._timing_depth -= 1
+                dt = time.perf_counter() - t0
+                key = str(d.syms[0])
+                self.loop_wall[key] = self.loop_wall.get(key, 0.0) + dt
+                self.loop_ops.setdefault(key, loop.op_name())
+    return Timed
+
+
+def profile_loops(compiled, inputs, backend: str) -> list:
+    """One instrumented functional execution; returns the per-loop host
+    wall-clock attribution as ``[{loop, op, wall_s, share}, ...]`` sorted
+    by descending time."""
+    if backend == "numpy":
+        from repro.backend.executor import NumpyInterp
+        interp = _timed_interp(NumpyInterp)()
+    else:
+        from repro.core.interp import Interp
+        interp = _timed_interp(Interp)()
+    interp.eval_program(compiled.program, compiled.prepare_inputs(inputs))
+    total = sum(interp.loop_wall.values()) or 1.0
+    return [{"loop": k, "op": interp.loop_ops[k], "wall_s": v,
+             "share": v / total}
+            for k, v in sorted(interp.loop_wall.items(),
+                               key=lambda kv: -kv[1])]
+
+
+def record_history(app: str, summary: dict, sim=None) -> None:
+    """Append one observatory record for ``app`` from a
+    ``measure_backends`` summary (see ``repro.obs.history``)."""
+    from repro.bench import get_bundle
+    from repro.obs.history import RunRecord, append_record, git_sha
+    bundle = get_bundle(app)
+    if sim is None:
+        sim = bundle.simulate("opt", backend="numpy")
+    led = bundle.compiled("opt").provenance
+    append_record(RunRecord(
+        app=app, backend="numpy", git_sha=git_sha(),
+        wall_s=summary["numpy_s"], sim_s=sim.total_seconds,
+        cycles=summary["cycles"], fallbacks=len(summary["fallbacks"]),
+        digest=led.digest() if led is not None else "",
+        extra={"reference_s": summary["reference_s"],
+               "speedup": summary["speedup"]}))
 
 
 def write_bench_backend(summary: dict) -> None:

@@ -21,7 +21,8 @@ from ..core import types as T
 from ..core.ir import Block, Def, Program, Sym, def_index, op_used_syms
 from ..core.multiloop import GenKind, MultiLoop
 from ..core.ops import ArrayLength, BucketKeys, InputSource
-from ..obs.diagnostics import DiagCategory, Diagnostic
+from ..obs.diagnostics import DiagCategory, Diagnostic, Severity
+from ..obs.provenance import APPLIED, REJECTED, DecisionKind, emit
 from ..transforms import DISTRIBUTION_RULES, Rule
 from .stencil import LoopStencils, Stencil, analyze_loop
 
@@ -63,14 +64,17 @@ class PartitionReport:
         """Backward-compatible view: the messages of warning-severity
         diagnostics, verbatim."""
         return [d.message for d in self.diagnostics
-                if d.severity == "warning"]
+                if d.severity is Severity.WARNING]
 
     def diagnose(self, category: DiagCategory, message: str,
-                 loop: Optional[str] = None, severity: str = "warning",
-                 **data) -> None:
+                 loop: Optional[str] = None,
+                 severity=Severity.WARNING, **data) -> None:
+        sev = Severity.of(severity)
         self.diagnostics.append(
-            Diagnostic(category, message, loop=loop, severity=severity,
+            Diagnostic(category, message, loop=loop, severity=sev,
                        data=data))
+        emit(DecisionKind.DIAGNOSTIC, loop or category.value, sev.value,
+             message, category=category.value, **data)
 
     def layout(self, s: Sym) -> DataLayout:
         return self.layouts.get(s, DataLayout.LOCAL)
@@ -106,8 +110,12 @@ def partition_and_transform(
     # user annotations on data sources
     for d in body.stmts:
         if isinstance(d.op, InputSource):
-            report.layouts[d.syms[0]] = (DataLayout.PARTITIONED
-                                         if d.op.partitioned else DataLayout.LOCAL)
+            layout = (DataLayout.PARTITIONED
+                      if d.op.partitioned else DataLayout.LOCAL)
+            report.layouts[d.syms[0]] = layout
+            emit(DecisionKind.PARTITION, repr(d.syms[0]), layout.value,
+                 f"user annotation on data source {d.op.label!r}",
+                 source=d.op.label)
 
     pos = 0
     rewrites = 0
@@ -123,6 +131,9 @@ def partition_and_transform(
         if not part_inputs:
             for s in d.syms:
                 report.layouts[s] = DataLayout.LOCAL
+            emit(DecisionKind.LOOP_PLACEMENT, repr(d.syms[0]), "local",
+                 "loop consumes no partitioned collection; runs at a "
+                 "single location")
             pos += 1
             continue
 
@@ -171,6 +182,7 @@ def _try_rules(body: Block, pos: int, rules: Sequence[Rule],
     """§4.2: try a single rule at a time; accept the first rewrite whose
     new statements all have distribution-friendly access patterns."""
     from ..transforms.common import replace_stmt
+    site = repr(body.stmts[pos].syms[0])
     for rule in rules:
         replacement = rule.apply_to(body, pos)
         if replacement is None:
@@ -187,8 +199,16 @@ def _try_rules(body: Block, pos: int, rules: Sequence[Rule],
                     improved = False
                     break
         if not improved:
+            emit(DecisionKind.TRANSFORM, site, REJECTED,
+                 f"rule {rule.name} matched but its rewrite still "
+                 f"accesses partitioned data through an Unknown/All "
+                 f"stencil; rewrite discarded", rule=rule.name)
             continue
         report.applied_rules.append(rule.name)
+        emit(DecisionKind.TRANSFORM, site, APPLIED,
+             f"rule {rule.name} removed the distribution-blocking access "
+             f"pattern (stencil-triggered, Alg. 1)", rule=rule.name,
+             trigger="unknown-stencil")
         return candidate
     return None
 
@@ -208,11 +228,33 @@ def _record_loop(d: Def, ls: LoopStencils, part_inputs: List[Sym],
         co_partitioned=interval if len(interval) > 1 else [])
     report.loops[d.syms[0].id] = info
 
+    if distributed:
+        why = (f"ranges Interval-aligned over partitioned {driving!r}"
+               if interval else
+               f"partitioned {driving!r} fetched remotely (Unknown stencil)")
+    else:
+        why = ("partitioned inputs are only broadcast "
+               "(All/Const stencils); no interval driver")
+    emit(DecisionKind.LOOP_PLACEMENT, repr(d.syms[0]),
+         "distributed" if distributed else "local", why,
+         driving=repr(driving) if driving else None,
+         broadcasts=[repr(s) for s in broadcast],
+         remote_random=[repr(s) for s in unknown])
+
     for s, g in zip(d.syms, d.op.gens):
         if distributed and g.kind in (GenKind.COLLECT, GenKind.BUCKET_COLLECT):
             report.layouts[s] = DataLayout.PARTITIONED
+            emit(DecisionKind.PARTITION, repr(s), DataLayout.PARTITIONED.value,
+                 f"{g.kind.value} output of distributed loop "
+                 f"{d.syms[0]!r} stays partitioned with its producer",
+                 loop=repr(d.syms[0]))
         else:
             report.layouts[s] = DataLayout.LOCAL
+            emit(DecisionKind.PARTITION, repr(s), DataLayout.LOCAL.value,
+                 ("reduction result is materialized locally"
+                  if g.kind in (GenKind.REDUCE, GenKind.BUCKET_REDUCE)
+                  else f"output of non-distributed loop {d.syms[0]!r}"),
+                 loop=repr(d.syms[0]))
 
 
 def _visit_sequential(d: Def, report: PartitionReport) -> None:

@@ -22,6 +22,7 @@ from ..core import types as T
 from ..core.ir import Block, Const, Def, Exp, Program, Sym, def_index
 from ..core.multiloop import MultiLoop
 from ..core.ops import ArrayApply, ArrayLength, BucketLookup
+from ..obs.provenance import DecisionKind, emit
 
 
 class Stencil(enum.Enum):
@@ -48,10 +49,21 @@ class LoopStencils:
 
     loop_sym: Sym
     reads: Dict[Sym, Stencil] = field(default_factory=dict)
+    #: why each collection got its stencil — the passed affine test for
+    #: Interval/Const/All, the failed one for Unknown (provenance, §8)
+    reasons: Dict[Sym, str] = field(default_factory=dict)
 
-    def add(self, coll: Sym, s: Stencil) -> None:
+    def add(self, coll: Sym, s: Stencil, reason: str = "") -> None:
         cur = self.reads.get(coll)
-        self.reads[coll] = s if cur is None else join_stencil(cur, s)
+        joined = s if cur is None else join_stencil(cur, s)
+        if cur is None:
+            self.reasons[coll] = reason
+        elif joined is not cur:
+            # the new access degraded the classification; explain the join
+            old = self.reasons.get(coll, cur.value)
+            self.reasons[coll] = (reason if joined is s
+                                  else f"conflicting accesses: {old}; {reason}")
+        self.reads[coll] = joined
 
     def has_unknown(self) -> bool:
         return Stencil.UNKNOWN in self.reads.values()
@@ -77,6 +89,10 @@ def analyze_loop(d: Def, scope_index: Dict[Sym, Def]) -> LoopStencils:
                 _walk(b, None, {}, out, scope_index, set())
             else:
                 _walk(b, b.params[0], {}, out, scope_index, set())
+    for coll, s in out.reads.items():
+        emit(DecisionKind.STENCIL, repr(d.syms[0]), s.value,
+             f"{coll!r}: {out.reasons.get(coll) or s.value}",
+             collection=repr(coll))
     return out
 
 
@@ -91,16 +107,18 @@ def _walk(block: Block, loop_index: Optional[Sym],
         if isinstance(op, ArrayApply):
             arr = op.arr
             if isinstance(arr, Sym) and arr not in local_syms:
-                out.add(arr, _classify(op.idx, arr, loop_index, inner_loops,
-                                       local_syms, scope_index))
+                s, why = _classify(op.idx, arr, loop_index, inner_loops,
+                                   local_syms, scope_index)
+                out.add(arr, s, why)
         elif isinstance(op, BucketLookup):
             coll = op.coll
             if isinstance(coll, Sym) and coll not in local_syms:
                 # keyed lookup: data-dependent unless the key is invariant
                 if _is_invariant(op.key, local_syms):
-                    out.add(coll, Stencil.CONST)
+                    out.add(coll, Stencil.CONST, "loop-invariant bucket key")
                 else:
-                    out.add(coll, Stencil.UNKNOWN)
+                    out.add(coll, Stencil.UNKNOWN,
+                            "data-dependent bucket key")
         if isinstance(op, MultiLoop):
             for g in op.gens:
                 for b in g.blocks():
@@ -119,22 +137,26 @@ def _walk(block: Block, loop_index: Optional[Sym],
 
 def _classify(idx: Exp, arr: Sym, loop_index: Optional[Sym],
               inner_loops: Dict[Sym, Exp], local_syms: Set[Sym],
-              scope_index: Dict[Sym, Def]) -> Stencil:
+              scope_index: Dict[Sym, Def]) -> Tuple[Stencil, str]:
+    """Classify one indexed access and say which affine test decided it."""
     if isinstance(idx, Const):
-        return Stencil.CONST
+        return Stencil.CONST, "literal index"
     if isinstance(idx, Sym):
         if loop_index is not None and idx == loop_index:
-            return Stencil.INTERVAL
+            return Stencil.INTERVAL, "index is the loop index (identity map)"
         if idx in inner_loops:
             # an inner loop's index: covers the whole collection when the
             # inner loop ranges over len(arr)
             size = inner_loops[idx]
             if _is_length_of(size, arr, scope_index):
-                return Stencil.ALL
-            return Stencil.UNKNOWN
+                return Stencil.ALL, "inner loop ranges over len(collection)"
+            return (Stencil.UNKNOWN,
+                    "inner-loop index whose range is not len(collection); "
+                    "cannot bound the accessed region")
         if idx not in local_syms:
-            return Stencil.CONST  # loop-invariant index
-    return Stencil.UNKNOWN
+            return Stencil.CONST, "loop-invariant index"
+    return (Stencil.UNKNOWN,
+            "data-dependent index expression (no affine test matched)")
 
 
 def _is_invariant(e: Exp, local_syms: Set[Sym]) -> bool:

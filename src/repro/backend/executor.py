@@ -36,6 +36,7 @@ from ..core.ir import Def, Program
 from ..core.multiloop import GenKind, Generator, MultiLoop
 from ..core.ops import PRIMS
 from ..core.values import Buckets
+from ..obs.provenance import FALLBACK, VECTORIZED, DecisionKind, emit
 from .vectorize import (ASSOC_UFUNCS, ArrVec, LoopVectorizer, Rows, StatsDelta,
                         SVec, VecError, as_lane_vec, is_vec, plan_loop,
                         recognize_assoc_prim, vec_take, vec_where)
@@ -183,6 +184,11 @@ class NumpyInterp(Interp):
             reason = plan_loop(loop)
             self._plans[id(loop)] = reason
             self._keep.append(loop)
+            emit(DecisionKind.BACKEND_PLAN, repr(d.syms[0]),
+                 VECTORIZED if reason is None else FALLBACK,
+                 str(reason) if reason is not None
+                 else "all constructs have a vectorized lowering",
+                 op=loop.op_name())
         if reason is None:
             try:
                 return self._vec_loop(d, loop)
@@ -192,6 +198,8 @@ class NumpyInterp(Interp):
                 raise
             except Exception as e:  # robustness: never lose a run
                 reason = f"{type(e).__name__}: {e}"
+            emit(DecisionKind.BACKEND_PLAN, repr(d.syms[0]), FALLBACK,
+                 f"runtime: {reason}", op=loop.op_name())
         self.fallbacks.append(
             FallbackRecord(d.syms[0].name, loop.op_name(), str(reason)))
         self._loop_depth += 1

@@ -426,6 +426,31 @@ def plan_loop(loop: MultiLoop) -> Optional[str]:
     return None
 
 
+def plan_program(prog) -> Dict[str, Optional[str]]:
+    """Static backend plan for every top-level loop, without executing.
+
+    Maps ``repr(loop sym)`` to the fallback reason ``plan_loop`` would
+    report (``None`` = fully vectorizable), and emits one BACKEND_PLAN
+    decision per loop into the active provenance ledger — this is how
+    ``repro explain`` shows plan-vs-fallback without running the program.
+    (Runtime-only fallbacks, from value shapes the static scan cannot see,
+    still surface when the program is actually run.)
+    """
+    from ..obs.provenance import FALLBACK, VECTORIZED, DecisionKind, emit
+    out: Dict[str, Optional[str]] = {}
+    for d in prog.body.stmts:
+        if not isinstance(d.op, MultiLoop):
+            continue
+        reason = plan_loop(d.op)
+        out[repr(d.syms[0])] = reason
+        emit(DecisionKind.BACKEND_PLAN, repr(d.syms[0]),
+             VECTORIZED if reason is None else FALLBACK,
+             reason if reason is not None
+             else "all constructs have a vectorized lowering",
+             op=d.op.op_name(), static=True)
+    return out
+
+
 def _plan_reducer(block: Block) -> Optional[str]:
     if recognize_assoc_prim(block) is not None:
         return None

@@ -16,15 +16,19 @@ Everything is opt-in: with no tracer/registry configured the executor
 allocates no spans and emits nothing.
 """
 
-from .diagnostics import DiagCategory, Diagnostic
+from .diagnostics import DiagCategory, Diagnostic, Severity
 from .metrics import MetricsObserver, MetricsRegistry
+from .provenance import (Decision, DecisionKind, DecisionLedger,
+                         diff_ledgers, emit, ledger_scope)
 from .spans import Span, Tracer
 from .export import (chrome_trace_events, profile_report, render_spans,
                      write_chrome_trace)
 
 __all__ = [
-    "DiagCategory", "Diagnostic",
+    "DiagCategory", "Diagnostic", "Severity",
     "MetricsObserver", "MetricsRegistry",
+    "Decision", "DecisionKind", "DecisionLedger",
+    "diff_ledgers", "emit", "ledger_scope",
     "Span", "Tracer",
     "chrome_trace_events", "profile_report", "render_spans",
     "write_chrome_trace",

@@ -13,7 +13,31 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
+
+
+class Severity(str, enum.Enum):
+    """Diagnostic severity, shared with the partitioning analysis.
+
+    A ``str`` enum so historical comparisons against the literal strings
+    keep working — but constructing one from a typo'd string raises, so a
+    misspelled severity can no longer silently drop a diagnostic from the
+    ``warnings`` view (it used to filter on the literal ``"warning"``).
+    """
+
+    WARNING = "warning"
+    INFO = "info"
+
+    @classmethod
+    def of(cls, value: Union["Severity", str]) -> "Severity":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown diagnostic severity {value!r}; expected one of "
+                f"{[s.value for s in cls]}") from None
 
 
 class DiagCategory(enum.Enum):
@@ -41,8 +65,12 @@ class Diagnostic:
     category: DiagCategory
     message: str
     loop: Optional[str] = None       # name of the loop symbol it concerns
-    severity: str = "warning"        # "warning" | "info"
+    severity: Severity = Severity.WARNING
     data: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # normalize/validate str severities at construction time
+        object.__setattr__(self, "severity", Severity.of(self.severity))
 
     def __str__(self) -> str:
         return self.message

@@ -1,0 +1,120 @@
+"""Append-only benchmark history store (the regression observatory).
+
+``BENCH_backend.json`` is fire-and-forget: each benchmark run overwrites
+it, so a quiet slowdown between two PRs leaves no trace. The history
+store keeps one JSONL file per app under ``benchmarks/history/`` — every
+run *appends* a :class:`RunRecord` (git SHA, host wall-clock, simulated
+seconds, cycle count, fallback count, and the compile's decision-ledger
+digest) and never rewrites old lines. ``repro.obs.regress`` compares the
+latest record against a rolling median baseline and fails CI on
+wall-clock/cycle regressions or decision-digest drift.
+
+The files are plain JSONL so they diff cleanly, survive partial writes
+(a torn last line is skipped on load), and can be carried across CI runs
+as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: default store location, resolved relative to the repo root
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+DEFAULT_DIR = _REPO_ROOT / "benchmarks" / "history"
+
+
+@dataclass
+class RunRecord:
+    """One app × backend × run observation."""
+
+    app: str
+    backend: str
+    git_sha: str
+    #: host wall-clock seconds of one functional execution (best-of-N)
+    wall_s: float
+    #: simulated seconds on the machine model (backend-invariant)
+    sim_s: float
+    #: simulated cycle count (deterministic for a given compile)
+    cycles: int
+    #: loops that fell back to the reference interpreter
+    fallbacks: int
+    #: DecisionLedger.digest() of the compile that produced the program
+    digest: str
+    timestamp: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json_line(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "RunRecord":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        kwargs = {k: v for k, v in doc.items() if k in known}
+        # tolerate records written by newer versions: unknown keys -> extra
+        kwargs.setdefault("extra", {})
+        kwargs["extra"] = dict(kwargs["extra"],
+                               **{k: v for k, v in doc.items()
+                                  if k not in known})
+        return cls(**kwargs)
+
+
+def git_sha(root: Optional[pathlib.Path] = None) -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(root or _REPO_ROOT), capture_output=True, text=True,
+            timeout=10)
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def history_path(app: str,
+                 root: Optional[pathlib.Path] = None) -> pathlib.Path:
+    return pathlib.Path(root or DEFAULT_DIR) / f"{app}.jsonl"
+
+
+def append_record(rec: RunRecord,
+                  root: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Append one record to the app's JSONL file (creating it on first
+    use). Records are stamped with the current time if unset."""
+    if not rec.timestamp:
+        rec.timestamp = time.time()
+    path = history_path(rec.app, root)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(rec.to_json_line() + "\n")
+    return path
+
+
+def load_history(app: str,
+                 root: Optional[pathlib.Path] = None) -> List[RunRecord]:
+    """All records of one app, in append (chronological) order. Unparsable
+    lines (e.g. a torn write from a killed run) are skipped."""
+    path = history_path(app, root)
+    if not path.exists():
+        return []
+    out: List[RunRecord] = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(RunRecord.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, TypeError):
+            continue
+    return out
+
+
+def known_apps(root: Optional[pathlib.Path] = None) -> List[str]:
+    base = pathlib.Path(root or DEFAULT_DIR)
+    if not base.exists():
+        return []
+    return sorted(p.stem for p in base.glob("*.jsonl"))

@@ -1,0 +1,196 @@
+"""Benchmark regression checker (``python -m repro.obs.regress``).
+
+Compares the latest record of every app in the history store
+(:mod:`repro.obs.history`) against a rolling baseline:
+
+- **wall-clock** — the median of up to ``--window`` preceding records,
+  with a noise-aware percentage threshold (host wall-clock on shared CI
+  runners jitters; simulated metrics do not);
+- **cycles** — simulated cycle counts are deterministic for a given
+  compile, so the threshold is near-exact by default;
+- **decision digest** — any drift against the *previous* record fails:
+  a digest change means a compiler decision flipped (a fusion that used
+  to fire no longer does, a stencil degraded, a backend plan fell back),
+  which is exactly the silent-regression class the provenance ledger
+  exists to catch. Intentional changes are re-baselined by simply
+  letting the new record append (the next run compares against it).
+
+Exit codes follow the repo-wide convention: 0 ok, 1 regression found,
+2 bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from statistics import median
+from typing import List, Optional, Sequence
+
+from .history import DEFAULT_DIR, RunRecord, known_apps, load_history
+
+EXIT_OK = 0
+EXIT_FAIL = 1
+EXIT_USAGE = 2
+
+#: rolling-baseline width (records before the latest)
+DEFAULT_WINDOW = 5
+#: host wall-clock regression threshold, percent over baseline median
+DEFAULT_WALL_PCT = 10.0
+#: simulated-cycle threshold — deterministic, so near-exact
+DEFAULT_CYCLE_PCT = 0.1
+
+
+@dataclass
+class AppVerdict:
+    """Outcome of checking one app's history."""
+
+    app: str
+    status: str                      # "ok" | "bootstrap" | "regression"
+    problems: List[str] = field(default_factory=list)
+    latest: Optional[RunRecord] = None
+    baseline_wall: Optional[float] = None
+    baseline_cycles: Optional[float] = None
+    runs: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "regression"
+
+
+def check_records(app: str, records: Sequence[RunRecord],
+                  window: int = DEFAULT_WINDOW,
+                  wall_pct: float = DEFAULT_WALL_PCT,
+                  cycle_pct: float = DEFAULT_CYCLE_PCT) -> AppVerdict:
+    """Pure comparison logic (unit-testable without touching disk)."""
+    if len(records) == 0:
+        return AppVerdict(app, "bootstrap", runs=0)
+    latest = records[-1]
+    if len(records) == 1:
+        # first observation: nothing to compare against yet
+        return AppVerdict(app, "bootstrap", latest=latest, runs=1)
+
+    prior = records[:-1]
+    base = prior[-window:]
+    base_wall = median(r.wall_s for r in base)
+    base_cycles = median(r.cycles for r in base)
+    problems: List[str] = []
+
+    if base_wall > 0:
+        pct = (latest.wall_s - base_wall) / base_wall * 100.0
+        if pct > wall_pct:
+            problems.append(
+                f"wall-clock regression: {latest.wall_s * 1e3:.2f} ms vs "
+                f"baseline median {base_wall * 1e3:.2f} ms "
+                f"(+{pct:.1f}% > {wall_pct:.1f}% threshold)")
+    if base_cycles > 0:
+        pct = (latest.cycles - base_cycles) / base_cycles * 100.0
+        if pct > cycle_pct:
+            problems.append(
+                f"cycle regression: {latest.cycles} vs baseline median "
+                f"{base_cycles:.0f} (+{pct:.2f}% > {cycle_pct:.2f}% "
+                f"threshold)")
+
+    prev = prior[-1]
+    if latest.digest and prev.digest and latest.digest != prev.digest:
+        problems.append(
+            f"decision-digest drift: {prev.digest} -> {latest.digest} — a "
+            f"compiler decision flipped since the previous run (run "
+            f"`repro explain {app}` on both commits to see which)")
+    if latest.fallbacks > prev.fallbacks:
+        problems.append(
+            f"backend fallbacks increased: {prev.fallbacks} -> "
+            f"{latest.fallbacks}")
+
+    return AppVerdict(app, "regression" if problems else "ok",
+                      problems=problems, latest=latest,
+                      baseline_wall=base_wall, baseline_cycles=base_cycles,
+                      runs=len(records))
+
+
+def trend_table(verdicts: Sequence[AppVerdict]) -> str:
+    """Terminal trend table: latest vs baseline per app."""
+    from ..report.tables import render_table
+    rows = []
+    for v in verdicts:
+        if v.latest is None:
+            rows.append([v.app, "-", "-", "-", "-", v.status])
+            continue
+        wall = f"{v.latest.wall_s * 1e3:9.2f}"
+        base = ("-" if v.baseline_wall is None
+                else f"{v.baseline_wall * 1e3:9.2f}")
+        delta = "-"
+        if v.baseline_wall:
+            delta = (f"{(v.latest.wall_s - v.baseline_wall) / v.baseline_wall * 100.0:+6.1f}%")
+        rows.append([v.app, wall, base, delta, v.latest.digest or "-",
+                     v.status])
+    return render_table(
+        ["app", "wall ms", "baseline ms", "delta", "digest", "status"],
+        rows,
+        title=f"benchmark regression observatory "
+              f"({sum(1 for v in verdicts if v.runs)} apps with history)")
+
+
+def check_all(root=None, apps: Optional[Sequence[str]] = None,
+              window: int = DEFAULT_WINDOW,
+              wall_pct: float = DEFAULT_WALL_PCT,
+              cycle_pct: float = DEFAULT_CYCLE_PCT) -> List[AppVerdict]:
+    names = list(apps) if apps else known_apps(root)
+    return [check_records(a, load_history(a, root), window=window,
+                          wall_pct=wall_pct, cycle_pct=cycle_pct)
+            for a in names]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="Compare the latest benchmark run against the rolling "
+                    "history baseline; non-zero exit on regression.")
+    ap.add_argument("--history", default=None,
+                    help=f"history directory (default: {DEFAULT_DIR})")
+    ap.add_argument("--apps", default=None,
+                    help="comma-separated app subset (default: every app "
+                         "with a history file)")
+    ap.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                    help="rolling baseline width (median of up to N prior "
+                         "records, default %(default)s)")
+    ap.add_argument("--wall-pct", type=float, default=DEFAULT_WALL_PCT,
+                    help="wall-clock regression threshold in percent "
+                         "(default %(default)s)")
+    ap.add_argument("--cycle-pct", type=float, default=DEFAULT_CYCLE_PCT,
+                    help="simulated-cycle threshold in percent "
+                         "(default %(default)s)")
+    try:
+        args = ap.parse_args(argv)
+    except SystemExit as e:
+        # argparse exits 2 on bad usage and 0 on --help; preserve both
+        return int(e.code or 0)
+    if args.window < 1:
+        print("error: --window must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+
+    apps = ([a.strip() for a in args.apps.split(",") if a.strip()]
+            if args.apps else None)
+    verdicts = check_all(root=args.history, apps=apps, window=args.window,
+                         wall_pct=args.wall_pct, cycle_pct=args.cycle_pct)
+    if not verdicts:
+        print("no benchmark history found (bootstrap); nothing to check")
+        return EXIT_OK
+
+    print(trend_table(verdicts))
+    failed = [v for v in verdicts if not v.ok]
+    for v in failed:
+        for p in v.problems:
+            print(f"REGRESSION {v.app}: {p}")
+    boot = [v.app for v in verdicts if v.status == "bootstrap"]
+    if boot:
+        print(f"bootstrap (single or no record, baseline being "
+              f"established): {', '.join(boot)}")
+    if failed:
+        return EXIT_FAIL
+    print("regression check passed")
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

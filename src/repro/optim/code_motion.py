@@ -12,6 +12,7 @@ from typing import List, Set, Tuple
 
 from ..core.ir import Block, Def, Program, Sym, op_used_syms
 from ..core.multiloop import MultiLoop
+from ..obs.provenance import APPLIED, DecisionKind, emit
 
 
 def split_invariant(block: Block) -> Tuple[List[Def], Block]:
@@ -42,6 +43,13 @@ def hoist_block(block: Block) -> Block:
             for b in d.op.blocks():
                 b = hoist_block(b)
                 lifted, residual = split_invariant(b)
+                if lifted:
+                    emit(DecisionKind.CODE_MOTION, repr(d.syms[0]), APPLIED,
+                         f"hoisted {len(lifted)} loop-invariant "
+                         f"statement(s) "
+                         f"({', '.join(repr(h.syms[0]) for h in lifted)}) "
+                         f"out of a generator block",
+                         hoisted=[repr(h.syms[0]) for h in lifted])
                 out.extend(lifted)
                 new_blocks.append(residual)
             op = d.op.with_children(list(d.op.inputs()), new_blocks)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..core.ir import Block, Def, Exp, Op, Program, Sym, subst_op
+from ..obs.provenance import APPLIED, DecisionKind, emit
 
 
 def cse_block(block: Block) -> Block:
@@ -22,6 +23,9 @@ def cse_block(block: Block) -> Block:
         op = op.with_children(list(op.inputs()), [cse_block(b) for b in op.blocks()])
         prev = _lookup(seen, op)
         if prev is not None and len(prev.syms) == len(d.syms):
+            emit(DecisionKind.CSE, repr(d.syms[0]), APPLIED,
+                 f"merged duplicate {op.op_name()} into earlier "
+                 f"{prev.syms[0]!r}", kept=repr(prev.syms[0]))
             for old, new in zip(d.syms, prev.syms):
                 env[old] = new
             continue

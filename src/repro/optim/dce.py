@@ -12,6 +12,7 @@ from typing import List, Set
 
 from ..core.ir import Block, Def, Program, Sym, op_used_syms
 from ..core.multiloop import MultiLoop
+from ..obs.provenance import APPLIED, DecisionKind, emit
 
 
 def dce_block(block: Block) -> Block:
@@ -22,6 +23,9 @@ def dce_block(block: Block) -> Block:
     kept: List[Def] = []
     for d in reversed(block.stmts):
         if not any(s in live for s in d.syms):
+            emit(DecisionKind.DCE, repr(d.syms[0]), APPLIED,
+                 f"dropped {d.op.op_name()}: outputs never referenced "
+                 f"(transitively) from the scope results")
             continue
         op = d.op
         syms = d.syms
@@ -29,6 +33,12 @@ def dce_block(block: Block) -> Block:
             # dead generator elimination: drop outputs nobody reads
             pairs = [(s, g) for s, g in zip(syms, op.gens) if s in live]
             if pairs and len(pairs) < len(op.gens):
+                dead = [s for s in syms if s not in live]
+                emit(DecisionKind.DCE, repr(d.syms[0]), APPLIED,
+                     f"dead generator elimination: dropped "
+                     f"{', '.join(map(repr, dead))} from a "
+                     f"{len(op.gens)}-generator loop",
+                     dead=[repr(s) for s in dead])
                 syms = tuple(s for s, _ in pairs)
                 op = MultiLoop(op.size, tuple(g for _, g in pairs))
         new_blocks = [dce_block(b) for b in op.blocks()]

@@ -24,6 +24,7 @@ from ..core.ir import (Block, Const, Def, Exp, Program, Sym, def_index,
                        subst_op)
 from ..core.multiloop import GenKind, Generator, MultiLoop
 from ..core.ops import FALSE, ArrayApply, ArrayLength, IfThenElse
+from ..obs.provenance import APPLIED, REJECTED, DecisionKind, emit
 
 
 # ---------------------------------------------------------------------------
@@ -202,8 +203,13 @@ def _loop_reads(loop: MultiLoop, c: Sym) -> bool:
                for g in loop.gens for b in g.blocks())
 
 
-def _choose_fusion_target(loop: MultiLoop, idx, producers, own: set):
+def _choose_fusion_target(loop: MultiLoop, idx, producers, own: set,
+                          site: str = ""):
     from ..core.ir import alpha_equal
+
+    def reject(reason: str, **ev) -> None:
+        if site:
+            emit(DecisionKind.FUSION_VERTICAL, site, REJECTED, reason, **ev)
 
     cands: List[Sym] = []
     c = _find_size_producer(loop.size, idx, producers)
@@ -230,9 +236,16 @@ def _choose_fusion_target(loop: MultiLoop, idx, producers, own: set):
                 ok = False
                 break
             if g.kind is not GenKind.COLLECT or g.flatten:
+                reject(f"producer output {s!r} is not a fusable Collect "
+                       f"({g.kind.value}{', flatten' if g.flatten else ''}); "
+                       f"the generalized rule only inlines Collects",
+                       producer=repr(seed))
                 ok = False
                 break
             if not alpha_equal(g.cond, seed_gen.cond):
+                reject(f"producer outputs {seed!r} and {s!r} have differing "
+                       f"filter conditions; fusing as a unit would change "
+                       f"which elements survive", producer=repr(seed))
                 ok = False
                 break
             targets[s] = g
@@ -242,6 +255,9 @@ def _choose_fusion_target(loop: MultiLoop, idx, producers, own: set):
             if seed_gen.cond is not None:
                 # a filtering producer that is only used for its size: the
                 # consumer's work is unrelated to the raw index space
+                reject(f"filtering producer {seed!r} is read only through "
+                       f"len(); the consumer's index space is unrelated to "
+                       f"the producer's raw range", producer=repr(seed))
                 continue
             targets = {seed: seed_gen}
         target_set = set(targets)
@@ -251,6 +267,10 @@ def _choose_fusion_target(loop: MultiLoop, idx, producers, own: set):
                 for t in target_set:
                     if (_block_reads(g.reducer, t)
                             or _nested_reads(g.reducer, t)):
+                        reject(f"reducer reads producer output {t!r} "
+                               f"(blocking dependency: the combine function "
+                               f"needs the materialized collection)",
+                               producer=repr(seed))
                         ok = False
                         break
             if not ok:
@@ -260,12 +280,21 @@ def _choose_fusion_target(loop: MultiLoop, idx, producers, own: set):
                     continue
                 for t in target_set:
                     if not _refs_canonical(b, t, b.params[0]):
+                        reject(f"non-canonical access: {t!r} is indexed by "
+                               f"something other than the loop index (or "
+                               f"escapes whole); inlining the producer "
+                               f"element would change meaning",
+                               producer=repr(seed))
                         ok = False
                         break
                 if not ok:
                     break
                 if seed_gen.cond is not None and not _index_only_via_targets(
                         b, target_set, b.params[0]):
+                    reject(f"filtering producer {seed!r}: the consumer uses "
+                           f"the raw loop index beyond reading producer "
+                           f"outputs, but fusion re-indexes from compacted "
+                           f"to raw space", producer=repr(seed))
                     ok = False
                     break
             if not ok:
@@ -291,8 +320,15 @@ def fuse_block_once(block: Block) -> Tuple[Block, bool]:
         d = Def(d.syms, op)
 
         if isinstance(op, MultiLoop):
-            plan = _choose_fusion_target(op, idx, producers, set(d.syms))
+            plan = _choose_fusion_target(op, idx, producers, set(d.syms),
+                                         site=repr(d.syms[0]))
             if plan is not None:
+                emit(DecisionKind.FUSION_VERTICAL, repr(d.syms[0]), APPLIED,
+                     f"pipeline-fused producer {plan.p_def.syms[0]!r} into "
+                     f"this loop (generalized rule "
+                     f"G_s(c1 && c2∘f1)(k∘f1)(f2∘f1)(r), §3.1)",
+                     producer=repr(plan.p_def.syms[0]),
+                     targets=[repr(t) for t in plan.targets])
                 new_gens = tuple(_fuse_generator(g, plan) for g in op.gens)
                 d = Def(d.syms, MultiLoop(plan.size, new_gens))
                 changed = True
@@ -353,14 +389,22 @@ def horizontal_block(block: Block) -> Block:
             continue
         key = _size_key(d.op.size)
         g = open_group.get(key)
-        if g is not None and all(pos_of.get(s, -1) < g.first_pos
-                                 for s in op_used_syms(d.op)):
-            g.members.append(d)
-            group_at[p] = g
-        else:
-            g = _Group(p, d)
-            open_group[key] = g
-            group_at[p] = g
+        if g is not None:
+            blocking = [s for s in op_used_syms(d.op)
+                        if pos_of.get(s, -1) >= g.first_pos]
+            if not blocking:
+                g.members.append(d)
+                group_at[p] = g
+                continue
+            emit(DecisionKind.FUSION_HORIZONTAL, repr(d.syms[0]), REJECTED,
+                 f"same range as loop {g.members[0].syms[0]!r} but depends "
+                 f"on {', '.join(map(repr, blocking))} defined inside or "
+                 f"after that group (blocking dependency)",
+                 group=repr(g.members[0].syms[0]),
+                 blocking=[repr(s) for s in blocking])
+        g = _Group(p, d)
+        open_group[key] = g
+        group_at[p] = g
 
     out: List[Def] = []
     for p, d in enumerate(stmts):
@@ -375,6 +419,11 @@ def horizontal_block(block: Block) -> Block:
         for m in g.members:
             gens.extend(m.op.gens)
             syms.extend(m.syms)
+        emit(DecisionKind.FUSION_HORIZONTAL, repr(d.syms[0]), APPLIED,
+             f"merged {len(g.members)} independent same-range loops "
+             f"({', '.join(repr(m.syms[0]) for m in g.members)}) into one "
+             f"traversal (§3.1, Fig. 5)",
+             members=[repr(m.syms[0]) for m in g.members])
         out.append(Def(tuple(syms), MultiLoop(g.members[0].op.size, tuple(gens))))
     return Block(block.params, tuple(out), block.results)
 

@@ -17,6 +17,7 @@ from ..core.ir import (Block, Const, Def, Exp, Program, Sym, fresh,
                        refresh_block, subst_op)
 from ..core.multiloop import GenKind, Generator, MultiLoop, loop_def, reduce_gen
 from ..core.ops import ArrayLength, Prim
+from ..obs.provenance import APPLIED, DecisionKind, emit
 
 
 def _count_reducer() -> Block:
@@ -45,9 +46,17 @@ def _rewrite_block(block: Block) -> Block:
             g = producers[op.arr]
             if g.cond is None:
                 # len(map(...)) == size of the producer's range
+                emit(DecisionKind.LENGTH_REWRITE, repr(d.syms[0]), APPLIED,
+                     f"len({op.arr!r}) of an unconditional Collect replaced "
+                     f"by the producer's range size",
+                     collection=repr(op.arr))
                 env[d.sym] = sizes[op.arr]
                 continue
             # len(filter(...)) == conditional count over the range
+            emit(DecisionKind.LENGTH_REWRITE, repr(d.syms[0]), APPLIED,
+                 f"len({op.arr!r}) of a filtering Collect rewritten to a "
+                 f"conditional count over the producer's range",
+                 collection=repr(op.arr))
             j = fresh(T.INT, "j")
             ones = Block((j,), (), (Const(1),))
             cnt = loop_def(sizes[op.arr],

@@ -21,6 +21,7 @@ from ..core.ir import (Block, Def, Exp, Program, Sym, fresh, iter_defs,
                        op_used_syms, refresh_block, subst_op)
 from ..core.multiloop import GenKind, Generator, MultiLoop
 from ..core.ops import ArrayApply, ArrayLength, InputSource, StructField, StructNew
+from ..obs.provenance import APPLIED, REJECTED, DecisionKind, emit
 
 
 def _candidates(prog: Program) -> List[Def]:
@@ -183,12 +184,22 @@ def aos_to_soa(prog: Program, log: Optional[List[str]] = None) -> Program:
         for cand in _candidates(prog):
             c = cand.syms[0]
             if not _uses_splittable(prog, c):
+                emit(DecisionKind.SOA, repr(c), REJECTED,
+                     "a collection element escapes as a whole struct (a "
+                     "use is neither len(C) nor C(i).field); kept AoS")
                 continue
             col_defs, cols = _split_producer(cand)
             st: T.Struct = c.tpe.elem  # type: ignore[union-attr]
             # lengths are rewritten against a column that is genuinely read,
             # so never-read columns stay dead for DFE
             used = _used_fields(prog, c)
+            dead_fields = [n for n, _ in st.fields if n not in used]
+            emit(DecisionKind.SOA, repr(c), APPLIED,
+                 f"split struct collection into {len(st.fields)} field "
+                 f"columns ({', '.join(n for n, _ in st.fields)})"
+                 + (f"; never-read columns {', '.join(dead_fields)} left "
+                    f"for dead field elimination" if dead_fields else ""),
+                 fields=[n for n, _ in st.fields], dead_fields=dead_fields)
             anchor = next((n for n, _ in st.fields if n in used),
                           st.fields[0][0])
             first_col = cols[anchor]

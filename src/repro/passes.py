@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from .core.ir import Program, iter_defs
 from .core.multiloop import MultiLoop
 from .core.verify import IRVerificationError, verify_program
+from .obs import provenance
 
 
 @dataclass
@@ -188,6 +189,11 @@ class PassManager:
     def run_pass(self, prog: Program, p: Pass, phase: str = "") -> Program:
         if self.differential_inputs is not None and self._reference is None:
             self._reference = self._interpret(prog)
+        led = provenance.active()
+        if led is not None:
+            # decisions emitted during this pass carry its name/phase and
+            # the ordinal of the IR snapshot they were taken on
+            led.begin_pass(p.name, phase)
         log: List[str] = []
         stmts_before, loops_before = program_counts(prog)
         t0 = time.perf_counter()

@@ -32,6 +32,7 @@ from .core import types as T
 from .core.ir import Program
 from .core.multiloop import GenKind, MultiLoop
 from .obs.diagnostics import DiagCategory
+from .obs.provenance import DecisionLedger, active, ledger_scope
 from .optim.soa import soa_input_values
 from .passes import (Pass, PassManager, PassTrace, partition_pass, rule_pass,
                      standard_passes)
@@ -47,7 +48,8 @@ _STD = standard_passes()
 
 
 def optimize_passes(horizontal: bool = True,
-                    groupby_reduce: bool = True) -> List[Pass]:
+                    groupby_reduce: bool = True,
+                    fuse: bool = True) -> List[Pass]:
     """The target-independent optimization phase as a named pass list.
 
     Horizontal fusion is deferrable (``horizontal=False``) because the
@@ -55,16 +57,20 @@ def optimize_passes(horizontal: bool = True,
     vertically-fused program first, and the resulting bucket-reduces are
     then merged into one traversal — the Fig. 5 order of events.
 
+    ``fuse=False`` drops both fusion passes entirely (the
+    ``repro explain --explain-diff no-fusion`` ablation).
+
     GroupBy-Reduce runs here (not only on stencil triggers) because it is
     always profitable: Table 2 applies it even for sequential CPU code.
     """
-    ps = [_STD["cse"], _STD["fuse-vertical"], _STD["rewrite-lengths"],
-          _STD["fuse-vertical"], _STD["dce"], _STD["code-motion"],
-          _STD["cse"], _STD["fuse-vertical"]]
+    fv = [_STD["fuse-vertical"]] if fuse else []
+    ps = [_STD["cse"], *fv, _STD["rewrite-lengths"],
+          *fv, _STD["dce"], _STD["code-motion"],
+          _STD["cse"], *fv]
     if groupby_reduce:
         ps += [rule_pass("groupby-reduce", (GroupByReduce(),)),
-               _STD["fuse-vertical"], _STD["dce"]]
-    if horizontal:
+               *fv, _STD["dce"]]
+    if horizontal and fuse:
         ps.append(_STD["fuse-horizontal"])
     ps.append(_STD["dce"])
     return ps
@@ -74,7 +80,8 @@ def optimize(prog: Program, horizontal: bool = True,
              groupby_reduce: bool = True,
              applied_log: Optional[list] = None,
              pm: Optional[PassManager] = None,
-             phase: str = "optimize") -> Program:
+             phase: str = "optimize",
+             fuse: bool = True) -> Program:
     """Run the target-independent optimization pipeline.
 
     When no ``pm`` is given a fresh PassManager is created (honoring
@@ -86,7 +93,8 @@ def optimize(prog: Program, horizontal: bool = True,
     if pm is None:
         pm = PassManager(verify=DEFAULT_VERIFY)
     start = len(pm.traces)
-    prog = pm.run(prog, optimize_passes(horizontal, groupby_reduce), phase)
+    prog = pm.run(prog, optimize_passes(horizontal, groupby_reduce, fuse),
+                  phase)
     if applied_log is not None:
         applied_log.extend(r for t in pm.traces[start:] for r in t.rules)
     return prog
@@ -102,6 +110,9 @@ class CompiledProgram:
     target: str = "cpu"
     #: per-pass trace of the compilation (one entry per executed pass)
     trace: List[PassTrace] = field(default_factory=list)
+    #: decision-provenance ledger of the compilation (DESIGN.md §8);
+    #: rendered by ``repro explain``
+    provenance: Optional[DecisionLedger] = None
 
     @property
     def warnings(self):
@@ -140,66 +151,84 @@ class CompiledProgram:
 def compile_program(prog: Program, target: str = "cpu",
                     apply_nested_transforms: bool = True,
                     verify: Optional[bool] = None,
-                    differential_inputs: Optional[Dict[str, object]] = None
-                    ) -> CompiledProgram:
+                    differential_inputs: Optional[Dict[str, object]] = None,
+                    fuse: bool = True) -> CompiledProgram:
     """Compile for ``target`` in {'cpu', 'distributed', 'gpu'}.
 
     ``apply_nested_transforms=False`` disables the Fig. 3 rewrites (used by
-    the ablation benchmarks that measure their impact).
+    the ablation benchmarks that measure their impact); ``fuse=False``
+    disables vertical and horizontal fusion (the ``--explain-diff``
+    ablation of ``repro explain``).
 
     ``verify`` re-runs the structural IR verifier after every pass
     (default: ``DEFAULT_VERIFY``). ``differential_inputs``, when given,
     additionally re-interprets the program on those inputs after every
     pass and raises ``PassSemanticsError`` naming the first pass whose
     output diverges from the staged program's results.
+
+    Every compile records its decision provenance: if a ledger scope is
+    already active (``repro explain`` shares one across compile + backend
+    planning) decisions land there, otherwise a fresh ledger is created.
+    Either way it is attached as ``CompiledProgram.provenance``.
     """
     nt = apply_nested_transforms
     pm = PassManager(verify=DEFAULT_VERIFY if verify is None else verify,
                      differential_inputs=differential_inputs)
-    # SoA runs twice: once on raw inputs, and once after fusion has inlined
-    # struct elements that previously escaped through filter/groupBy chains
-    prog = pm.run_pass(prog, _STD["aos-to-soa"], phase="soa")
-    prog = optimize(prog, horizontal=False, groupby_reduce=nt,
-                    pm=pm, phase="opt-1")
-    prog = pm.run_pass(prog, _STD["aos-to-soa"], phase="soa")
-    prog = optimize(prog, horizontal=False, groupby_reduce=nt,
-                    pm=pm, phase="opt-2")
+    # NB: an empty ledger is falsy (len == 0), so test against None —
+    # `active() or ...` would discard the explain CLI's shared ledger
+    led = active()
+    if led is None:
+        led = DecisionLedger()
+    with ledger_scope(led):
+        # SoA runs twice: once on raw inputs, and once after fusion has
+        # inlined struct elements that previously escaped through
+        # filter/groupBy chains
+        prog = pm.run_pass(prog, _STD["aos-to-soa"], phase="soa")
+        prog = optimize(prog, horizontal=False, groupby_reduce=nt,
+                        pm=pm, phase="opt-1", fuse=fuse)
+        prog = pm.run_pass(prog, _STD["aos-to-soa"], phase="soa")
+        prog = optimize(prog, horizontal=False, groupby_reduce=nt,
+                        pm=pm, phase="opt-2", fuse=fuse)
 
-    if target in ("distributed", "cpu") and nt:
-        prog = pm.run_pass(prog, partition_pass("partition"),
-                           phase="partition")
-        prog = optimize(prog, horizontal=False, pm=pm, phase="re-fuse")
+        if target in ("distributed", "cpu") and nt:
+            prog = pm.run_pass(prog, partition_pass("partition"),
+                               phase="partition")
+            prog = optimize(prog, horizontal=False, pm=pm, phase="re-fuse",
+                            fuse=fuse)
 
-    if target == "gpu" and nt:
-        # distribute across the cluster first (C2R direction)...
-        prog = pm.run_pass(prog, partition_pass("partition"),
-                           phase="partition")
-        # ...then invert for the device kernel (§3.2: always R2C on GPUs).
-        # Code motion first (it exposes the loop-invariant prefix that
-        # R2C's fission step materializes, e.g. LogReg's per-sample error),
-        # but *no* fusion yet: the bucket keys must stay plain reads of
-        # materialized values (the k-means assignment vector) so the
-        # transposed per-column reductions share them between kernels.
-        prog = pm.run(prog, [_STD["code-motion"], _STD["cse"], _STD["dce"],
-                             rule_pass("gpu-rules", GPU_RULES)],
-                      phase="gpu")
-        prog = optimize(prog, horizontal=False, pm=pm, phase="re-fuse")
+        if target == "gpu" and nt:
+            # distribute across the cluster first (C2R direction)...
+            prog = pm.run_pass(prog, partition_pass("partition"),
+                               phase="partition")
+            # ...then invert for the device kernel (§3.2: always R2C on
+            # GPUs). Code motion first (it exposes the loop-invariant
+            # prefix that R2C's fission step materializes, e.g. LogReg's
+            # per-sample error), but *no* fusion yet: the bucket keys must
+            # stay plain reads of materialized values (the k-means
+            # assignment vector) so the transposed per-column reductions
+            # share them between kernels.
+            prog = pm.run(prog, [_STD["code-motion"], _STD["cse"],
+                                 _STD["dce"],
+                                 rule_pass("gpu-rules", GPU_RULES)],
+                          phase="gpu")
+            prog = optimize(prog, horizontal=False, pm=pm, phase="re-fuse",
+                            fuse=fuse)
 
-    # horizontal fusion merges the transformed traversals (Fig. 5)
-    prog = optimize(prog, horizontal=True, groupby_reduce=nt,
-                    pm=pm, phase="finalize")
+        # horizontal fusion merges the transformed traversals (Fig. 5)
+        prog = optimize(prog, horizontal=True, groupby_reduce=nt,
+                        pm=pm, phase="finalize", fuse=fuse)
 
-    # final analysis-only pass for the report (no rewriting)
-    reports: List[PartitionReport] = []
-    prog = pm.run_pass(prog, partition_pass("partition-report", rules=(),
-                                            reports=reports),
-                       phase="report")
-    report = reports[0]
-    report.applied_rules = pm.applied_rules()
-    if target == "gpu":
-        _diagnose_gpu_vector_reduces(prog, report)
-    stencils = analyze_program(prog)
-    return CompiledProgram(prog, report, stencils, target, pm.traces)
+        # final analysis-only pass for the report (no rewriting)
+        reports: List[PartitionReport] = []
+        prog = pm.run_pass(prog, partition_pass("partition-report", rules=(),
+                                                reports=reports),
+                           phase="report")
+        report = reports[0]
+        report.applied_rules = pm.applied_rules()
+        if target == "gpu":
+            _diagnose_gpu_vector_reduces(prog, report)
+        stencils = analyze_program(prog)
+    return CompiledProgram(prog, report, stencils, target, pm.traces, led)
 
 
 def _diagnose_gpu_vector_reduces(prog: Program,

@@ -14,18 +14,28 @@ Usage::
     python -m repro.tools kmeans --profile --backend numpy  # vectorized
     python -m repro.tools kmeans --trace-out t.json   # Chrome trace
     python -m repro.tools kmeans --metrics       # runtime counters
+    python -m repro.tools explain kmeans         # decision provenance
+    python -m repro.tools explain kmeans --loop cs --json
+    python -m repro.tools explain kmeans --explain-diff no-fusion
     python -m repro.tools --list
+
+Exit codes (repo-wide convention): 0 ok, 1 check failed, 2 bad usage.
 """
 
 from __future__ import annotations
 
 import argparse
+import json as _json
 import sys
 
 from .analysis.stencil import Stencil
 from .core.pretty import pretty
 from .passes import trace_table
 from .pipeline import compile_program
+
+EXIT_OK = 0
+EXIT_FAIL = 1
+EXIT_USAGE = 2
 
 _APPS = {
     "kmeans": lambda: __import__("repro.apps.kmeans", fromlist=["x"]).kmeans_shared_program(),
@@ -64,7 +74,7 @@ def _run_observed(args) -> int:
         print(f"--profile/--trace-out/--metrics need a bundled dataset; "
               f"apps with one: {', '.join(sorted(_FACTORIES))}",
               file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     from .obs import (MetricsRegistry, Tracer, profile_report,
                       write_chrome_trace)
     from .runtime import DMLL_CPP, GPU_CLUSTER, NUMA_BOX, single_node
@@ -103,7 +113,84 @@ def _run_observed(args) -> int:
     return 0
 
 
+def _explain_compile(app: str, target: str, variant: str = None):
+    """Compile ``app`` with a shared ledger scope covering the whole
+    pipeline plus the backend's static plan; return the ledger."""
+    from .backend.vectorize import plan_program
+    from .obs.provenance import DecisionLedger, ledger_scope
+    prog = _APPS[app]()
+    led = DecisionLedger()
+    with ledger_scope(led):
+        compiled = compile_program(
+            prog, target,
+            apply_nested_transforms=(variant != "no-transforms"),
+            fuse=(variant != "no-fusion"))
+        led.begin_pass("numpy-plan", "backend")
+        plan_program(compiled.program)
+    return led
+
+
+def explain_main(argv=None) -> int:
+    """``repro explain <app>``: render the compile's decision provenance."""
+    ap = argparse.ArgumentParser(
+        prog="repro.tools explain",
+        description="Explain every compiler/backend decision taken for an "
+                    "application: fusions applied and rejected (with the "
+                    "blocking dependency), Fig. 3 transforms fired or "
+                    "found not-applicable, stencil classifications, "
+                    "partition layouts, and the NumPy backend's "
+                    "plan-vs-fallback choices.")
+    ap.add_argument("app", nargs="?", help="application name (see --list)")
+    ap.add_argument("--loop", default=None, metavar="L",
+                    help="filter to decisions about one loop/symbol "
+                         "(prefix match, ids optional: 'cs' matches cs42)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the full ledger as JSON")
+    ap.add_argument("--target", choices=("cpu", "distributed", "gpu"),
+                    default="distributed")
+    ap.add_argument("--explain-diff", choices=("no-fusion", "no-transforms"),
+                    default=None, metavar="VARIANT",
+                    help="compile twice (default pipeline vs the ablated "
+                         "VARIANT) and show exactly which decisions "
+                         "diverge")
+    try:
+        args = ap.parse_args(argv)
+    except SystemExit as e:
+        return int(e.code or 0)
+    if not args.app:
+        print("explain requires an application name; see "
+              "`python -m repro.tools --list`", file=sys.stderr)
+        return EXIT_USAGE
+    if args.app not in _APPS:
+        print(f"unknown app {args.app!r}; use --list", file=sys.stderr)
+        return EXIT_USAGE
+
+    from .obs.provenance import diff_ledgers
+    led = _explain_compile(args.app, args.target)
+    if args.explain_diff:
+        other = _explain_compile(args.app, args.target,
+                                 variant=args.explain_diff)
+        print(diff_ledgers(led, other, "default", args.explain_diff))
+        return EXIT_OK
+    if args.json:
+        print(_json.dumps(led.to_json(), indent=2, default=str))
+    else:
+        print(led.render(loop=args.loop,
+                         title=f"decision provenance: {args.app} "
+                               f"(target {args.target})"))
+    if len(led) == 0:
+        # an instrumented compile that records nothing means the
+        # provenance layer is broken — fail loudly, CI smoke relies on it
+        print("error: compile produced an empty decision ledger",
+              file=sys.stderr)
+        return EXIT_FAIL
+    return EXIT_OK
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "explain":
+        return explain_main(argv[1:])
     ap = argparse.ArgumentParser(prog="repro.tools", description=__doc__)
     ap.add_argument("app", nargs="?", help="application name (see --list)")
     ap.add_argument("--list", action="store_true", help="list applications")
@@ -133,14 +220,29 @@ def main(argv=None) -> int:
                     default=None,
                     help="functional execution engine for observed runs "
                          "(default: $REPRO_BACKEND or reference)")
-    args = ap.parse_args(argv)
+    try:
+        args = ap.parse_args(argv)
+    except SystemExit as e:
+        return int(e.code or 0)
 
-    if args.list or not args.app:
+    if args.list:
         print("applications:", ", ".join(sorted(_APPS)))
-        return 0
+        return EXIT_OK
+    if not args.app:
+        # flags without an app used to print the app list and exit 0,
+        # silently dropping the requested action — that's bad usage
+        acted = (args.report or args.trace or args.verify_each
+                 or args.no_transforms or args.profile or args.trace_out
+                 or args.metrics)
+        if acted:
+            print("an application name is required with these flags; "
+                  "see --list", file=sys.stderr)
+            return EXIT_USAGE
+        print("applications:", ", ".join(sorted(_APPS)))
+        return EXIT_OK
     if args.app not in _APPS:
         print(f"unknown app {args.app!r}; use --list", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     observed = args.profile or args.trace_out or args.metrics
     prog = _APPS[args.app]()
@@ -152,7 +254,7 @@ def main(argv=None) -> int:
             print("--trace/--verify-each/--report/--profile/--trace-out/"
                   "--metrics require compilation; drop --stage staged",
                   file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         print(_emit(prog, args.emit))
         return 0
 

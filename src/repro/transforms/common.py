@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..core.ir import (Block, Def, Exp, Program, Sym, def_index,
                        free_sym_set, op_used_syms)
 from ..core.multiloop import GenKind, Generator, MultiLoop
+from ..obs.provenance import APPLIED, REJECTED, DecisionKind, emit
 
 
 class Rule:
@@ -28,6 +29,18 @@ class Rule:
         pattern does not match.
         """
         raise NotImplementedError
+
+    def reject(self, d: Def, reason: str, **evidence) -> None:
+        """Record "this rule matched the anchor pattern at ``d`` but a
+        precondition failed" into the active decision ledger, and return
+        ``None`` for convenience (``return self.reject(...)``).
+
+        Rules call this only after recognizing their anchor — trivial
+        "not even the right op" misses stay silent, so the ledger reports
+        interesting near-misses rather than every statement."""
+        emit(DecisionKind.TRANSFORM, repr(d.syms[0]), REJECTED,
+             f"{self.name}: {reason}", rule=self.name, **evidence)
+        return None
 
 
 def locals_of(block: Block) -> Set[Sym]:
@@ -110,6 +123,12 @@ def apply_rule_once(block: Block, rule: Rule) -> Optional[Block]:
     for pos in range(len(block.stmts)):
         replacement = rule.apply_to(block, pos)
         if replacement is not None:
+            # emitted here, not inside apply_to: the partitioning driver
+            # also calls apply_to speculatively and may discard the result
+            emit(DecisionKind.TRANSFORM, repr(block.stmts[pos].syms[0]),
+                 APPLIED,
+                 f"{rule.name}: nested-pattern rewrite fired (Fig. 3)",
+                 rule=rule.name, new_stmts=len(replacement))
             return replace_stmt(block, pos, replacement)
     return None
 

@@ -52,12 +52,16 @@ class ConditionalReduce(Rule):
             rgen = single_gen(rdef)
             if rgen is None or rgen.kind is not GenKind.REDUCE:
                 continue
-            match = self._match_reduce(V, rdef, rgen, v_locals)
+            match = self._match_reduce(V, rdef, rgen, v_locals, d)
             if match is None:
                 continue
             key_block, h_stmts, h_exp = match
             # everything hoisted must be computable at this scope
             if not self._hoistable(rdef.op.size, rgen, key_block, v_locals):
+                self.reject(d, "nested reduce has the g(j)==h(i) predicate "
+                               "but its size, value, or combine function "
+                               "captures outer-loop state (or a non-constant "
+                               "init); the BucketReduce cannot be hoisted")
                 continue
             matches.append((rdef, rgen, key_block, h_stmts, h_exp))
         if not matches:
@@ -65,7 +69,7 @@ class ConditionalReduce(Rule):
         return self._rewrite(block, d, gi, g, V, matches)
 
     def _match_reduce(self, V: Block, rdef: Def, rgen: Generator,
-                      v_locals: Set[Sym]):
+                      v_locals: Set[Sym], outer: Def):
         """Recognize ``cond = (g(j) == h(i))`` and split its two sides."""
         cb = rgen.cond
         if cb is None or len(cb.params) != 1:
@@ -82,17 +86,26 @@ class ConditionalReduce(Rule):
         a_free_of_j = exp_is_free_of(a, cb, {j})
         b_free_of_j = exp_is_free_of(b, cb, {j})
         if a_free_of_j == b_free_of_j:
-            return None  # need exactly one j-dependent side
+            # an equality predicate, but not of the g(j)==h(i) shape
+            return self.reject(
+                outer, "nested reduce filters on an equality whose sides "
+                       "do not split into inner-only vs outer-only; need "
+                       "exactly one side depending on the inner index")
         g_exp, h_exp = (b, a) if a_free_of_j else (a, b)
         key_stmts = slice_deps(cb, [g_exp])
         key_block = Block((j,), tuple(key_stmts), (g_exp,))
         # the key function must not capture outer-loop state
         if not block_is_free_of(key_block, v_locals):
-            return None
+            return self.reject(
+                outer, "bucket key g(j) captures outer-loop state; the "
+                       "pre-computed BucketReduce would differ per outer "
+                       "iteration")
         h_stmts = slice_deps(cb, [h_exp])
         # the h side must not touch the inner index
         if any(s == j for st in h_stmts for s in _used(st)):
-            return None
+            return self.reject(
+                outer, "outer-side expression h(i) also reads the inner "
+                       "index; the lookup key is not outer-computable")
         return key_block, h_stmts, h_exp
 
     def _hoistable(self, size: Exp, rgen: Generator, key_block: Block,

@@ -108,7 +108,10 @@ class GroupByReduce(Rule):
                 continue
             reduces.append((rdef, rgen))
         if not reduces:
-            return None
+            return self.reject(
+                d, f"loop densely reads bucket collection {a_def.syms[0]!r} "
+                   f"but contains no unconditional full-bucket reduction to "
+                   f"fold into the grouping pass", bucket=repr(a_def.syms[0]))
 
         for rdef, rgen in reduces:
             composed = self._compose_value(rgen.value, a_gen, bkt)
@@ -155,9 +158,16 @@ class GroupByReduce(Rule):
             if id(st) in replaced_defs or st is bdef:
                 continue
             if bkt in op_used_syms(st.op):
-                return None
+                return self.reject(
+                    d, f"bucket value {bkt!r} is used beyond full "
+                       f"reductions and counts (by {st.op.op_name()}); the "
+                       f"materialized buckets are still needed",
+                    bucket=repr(a_def.syms[0]))
         if bkt in (r for r in V.results if isinstance(r, Sym)):
-            return None
+            return self.reject(
+                d, f"bucket value {bkt!r} escapes through the generator "
+                   f"results; the materialized buckets are still needed",
+                bucket=repr(a_def.syms[0]))
 
         # rebuild V: drop replaced defs, read H / Hc at the dense position
         i = V.params[0]

@@ -135,13 +135,25 @@ class ColumnToRowReduce(Rule):
             # f must depend only on its own index, the outer index i, and
             # scope-level values
             if not block_is_free_of(f, v_locals - {i}):
+                self.reject(d, "nested reduce's value function reads other "
+                               "outer-loop locals (beyond the outer index); "
+                               "it cannot be vectorized over the outer "
+                               "domain")
                 continue
             if rgen.cond is not None and not block_is_free_of(rgen.cond, v_locals):
+                self.reject(d, "nested reduce's filter condition captures "
+                               "outer-loop state; the lifted reduction "
+                               "would filter differently per row")
                 continue
             if not block_is_free_of(rgen.reducer, v_locals):
+                self.reject(d, "nested reduce's combine function captures "
+                               "outer-loop state; it cannot be hoisted")
                 continue
             s2 = rdef.op.size
             if isinstance(s2, Sym) and s2 in v_locals:
+                self.reject(d, "inner reduction's domain size is computed "
+                               "inside the outer loop body; the lifted "
+                               "reduction has no loop-invariant range")
                 continue
             return self._rewrite(block, d, g, V, rpos, rdef, rgen, i)
         return None
@@ -203,10 +215,16 @@ class RowToColumnReduce(Rule):
             return None
         prelude, s2, template = match
         if isinstance(s2, Sym) and s2 in locals_of(g.value):
-            return None
+            return self.reject(
+                d, "vector-valued reduce, but the vector width is computed "
+                   "inside the value function; the column loop cannot be "
+                   "hoisted")
         scalar_r = _match_vectorized_reducer(g.reducer)
         if scalar_r is None:
-            return None
+            return self.reject(
+                d, "vector-valued reduce whose combine function is not a "
+                   "recognizable zipWith of a scalar reducer; cannot split "
+                   "into per-column scalar reductions")
 
         s1 = d.op.size
         # Collect_s2(j => Reduce_s1(c)(i => f(i, j))(r))
@@ -371,12 +389,19 @@ class BucketRowToColumnReduce(Rule):
             return None
         prelude, s2, template = match
         if isinstance(s2, Sym) and s2 in locals_of(g.value):
-            return None
+            return self.reject(
+                d, "vector-valued BucketReduce, but the vector width is "
+                   "computed inside the value function; the column loop "
+                   "cannot be hoisted")
         scalar_r = _match_vectorized_reducer(g.reducer)
         if scalar_r is None:
-            return None
+            return self.reject(
+                d, "vector-valued BucketReduce whose combine function is "
+                   "not a recognizable zipWith of a scalar reducer")
         if g.init is not None:
-            return None
+            return self.reject(
+                d, "vector-valued BucketReduce carries an explicit init; "
+                   "the transposed per-column form assumes none")
 
         s1 = d.op.size
         j = fresh(T.INT, "j")
