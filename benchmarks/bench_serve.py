@@ -1,0 +1,123 @@
+"""Serving-layer benchmark: lane-packed batching vs single-request
+execution, plus a seeded closed-loop latency profile.
+
+The serving claim (ROADMAP open item 1, DESIGN.md §9) is that N pending
+invocations of the same cached program cost ONE vectorized execution,
+not N — so at batch size 8 the host wall-clock of serving 8 requests
+should be a small multiple of one execution, and batched throughput
+must clear 3x single-request throughput on kmeans (the acceptance
+floor; the other apps get a lenient 1.5x noise floor).
+
+Writes ``benchmarks/results/serve.{txt,json}`` and appends one
+``serve-<app>`` record per app to ``benchmarks/history/`` so the
+regression observatory gates serving throughput like any other
+benchmark.
+"""
+
+import time
+
+from conftest import emit, emit_json, once
+
+from repro.backend import run_program_numpy
+from repro.core.values import deep_eq
+from repro.obs.history import RunRecord, append_record, git_sha
+from repro.report.tables import render_table
+from repro.serve import (ProgramCache, ProgramServer, ServeSim, ServedApp,
+                         make_machines)
+
+APPS = ["kmeans", "logreg", "q1"]
+BATCH = 8
+#: batched-vs-single throughput floors; kmeans carries the hard
+#: acceptance bar, the rest guard against the batcher regressing into
+#: per-request execution
+FLOORS = {"kmeans": 3.0, "logreg": 1.5, "q1": 1.5}
+
+
+def measure_app(app: str) -> dict:
+    served = ServedApp.from_bundle(app)
+    cache = ProgramCache({app: served.factory})
+    entry = cache.get(app)  # compile outside both timed regions
+    prepared = entry.compiled.prepare_inputs(served.default_inputs)
+
+    # single-request baseline: BATCH genuinely sequential executions,
+    # measured directly (NOT through the server, whose capture memo
+    # would make runs 2..N free and fake the baseline)
+    t0 = time.perf_counter()
+    for _ in range(BATCH):
+        seq_results, seq_stats, seq_fallbacks = run_program_numpy(
+            entry.compiled.program, prepared)
+    single_wall = time.perf_counter() - t0
+
+    # batched: BATCH simultaneous requests lane-pack into one execution
+    server = ProgramServer([served], make_machines("numa"),
+                           max_batch=BATCH, max_wait_s=0.05,
+                           backend="numpy", cache=cache)
+    for _ in range(BATCH):
+        server.submit(app, at=0.0)
+    t1 = time.perf_counter()
+    responses = server.run()
+    batched_wall = time.perf_counter() - t1
+
+    assert len(responses) == BATCH
+    assert all(r.lane_packed and r.batch_size == BATCH for r in responses)
+    assert not server.fallbacks and not seq_fallbacks
+    # the batch is the same execution a lone request runs: results and
+    # cycle accounting must be bit-identical (tests/test_serve.py holds
+    # the full ExecStats bar; the bench re-checks the headline)
+    assert deep_eq(responses[0].results, seq_results)
+    assert responses[0].stats.total_cycles == seq_stats.total_cycles
+
+    # seeded closed-loop latency profile on the shared cache
+    sim = ServeSim([app], machines="numa", max_batch=BATCH,
+                   max_wait_s=0.02, backend="numpy")
+    sim.cache = cache
+    report = sim.run_closed(clients=BATCH, requests=4 * BATCH, seed=0)
+
+    speedup = single_wall / batched_wall if batched_wall > 0 else float("inf")
+    return {
+        "single_wall_s": single_wall,
+        "batched_wall_s": batched_wall,
+        "speedup": speedup,
+        "service_s": responses[0].finish_s - responses[0].start_s,
+        "cycles": seq_stats.total_cycles,
+        "digest": entry.digest,
+        "compile_s": entry.compile_s,
+        "sim_throughput_rps": report.throughput_rps,
+        "sim_p50_s": report.latency_p50_s,
+        "sim_p99_s": report.latency_p99_s,
+    }
+
+
+def test_serve_batching(benchmark):
+    summary = once(benchmark, lambda: {a: measure_app(a) for a in APPS})
+
+    rows = []
+    for app in APPS:
+        s = summary[app]
+        rows.append([app, f"{s['single_wall_s'] * 1e3:9.2f}",
+                     f"{s['batched_wall_s'] * 1e3:9.2f}",
+                     f"{s['speedup']:6.1f}x",
+                     f"{s['sim_throughput_rps']:8.1f}",
+                     f"{s['sim_p99_s'] * 1e3:8.3f}"])
+        append_record(RunRecord(
+            app=f"serve-{app}", backend="numpy", git_sha=git_sha(),
+            wall_s=s["batched_wall_s"], sim_s=s["service_s"],
+            cycles=s["cycles"], fallbacks=0, digest=s["digest"],
+            extra={"single_wall_s": s["single_wall_s"],
+                   "speedup": s["speedup"],
+                   "sim_throughput_rps": s["sim_throughput_rps"],
+                   "sim_p50_s": s["sim_p50_s"],
+                   "sim_p99_s": s["sim_p99_s"]}))
+    emit("serve", render_table(
+        ["app", f"{BATCH} single ms", "batched ms", "speedup",
+         "sim req/s", "sim p99 ms"], rows,
+        title=f"serving: {BATCH} sequential runs vs one lane-packed "
+              f"batch (host wall-clock) + seeded closed-loop sim"))
+    import conftest
+    conftest._BREAKDOWNS["serve"] = summary
+    emit_json("serve")
+
+    for app in APPS:
+        assert summary[app]["speedup"] >= FLOORS[app], (
+            f"{app}: batched speedup {summary[app]['speedup']:.2f}x below "
+            f"floor {FLOORS[app]}x at batch size {BATCH}")

@@ -17,7 +17,7 @@ environment variable, then the default — so callers can thread a
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Optional, Tuple
 
 from .executor import FallbackRecord, NumpyInterp, run_program_numpy
 from .vectorize import VecError, plan_loop
@@ -28,15 +28,45 @@ BACKENDS = ("reference", "numpy")
 DEFAULT_BACKEND = "reference"
 
 
-def resolve_backend(name: Optional[str] = None) -> str:
-    """Explicit choice > ``REPRO_BACKEND`` env var > ``DEFAULT_BACKEND``."""
-    if name is None:
-        name = os.environ.get("REPRO_BACKEND") or DEFAULT_BACKEND
+def resolve_backend_ex(name: Optional[str] = None) -> Tuple[str, str]:
+    """Resolve the backend and say where the choice came from.
+
+    Returns ``(backend, source)`` with source one of ``"argument"``,
+    ``"env:REPRO_BACKEND"``, ``"default"``. A *set-but-blank*
+    ``REPRO_BACKEND=`` used to be treated like unset (``or
+    DEFAULT_BACKEND`` swallowed it), which let a CI matrix leg with a
+    mistyped env silently run the wrong backend — now blank is an
+    explicit error, and surrounding whitespace is stripped.
+    """
+    if name is not None:
+        name = name.strip()
+        if not name:
+            raise ValueError(
+                "backend argument is blank; expected one of "
+                f"{BACKENDS} (or None to defer to $REPRO_BACKEND)")
+        source = "argument"
+    else:
+        env = os.environ.get("REPRO_BACKEND")
+        if env is None:
+            name, source = DEFAULT_BACKEND, "default"
+        else:
+            name = env.strip()
+            if not name:
+                raise ValueError(
+                    "REPRO_BACKEND is set but blank; unset it or name one "
+                    f"of {BACKENDS}")
+            source = "env:REPRO_BACKEND"
     if name not in BACKENDS:
         raise ValueError(
             f"unknown backend {name!r}; expected one of {BACKENDS}")
-    return name
+    return name, source
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Explicit choice > ``REPRO_BACKEND`` env var > ``DEFAULT_BACKEND``."""
+    return resolve_backend_ex(name)[0]
 
 
 __all__ = ["BACKENDS", "DEFAULT_BACKEND", "FallbackRecord", "NumpyInterp",
-           "VecError", "plan_loop", "resolve_backend", "run_program_numpy"]
+           "VecError", "plan_loop", "resolve_backend", "resolve_backend_ex",
+           "run_program_numpy"]

@@ -9,6 +9,7 @@ machine model — "the work is real, only the clock is modeled" (DESIGN §4).
 
 from __future__ import annotations
 
+import weakref
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -470,7 +471,12 @@ class Interp:
         return acc
 
 
-_ALPHA_CACHE: Dict[int, object] = {}
+#: id(block) -> (weakref-to-block, alpha key). The weakref both guards
+#: against id() reuse — a dead entry must never serve a new block that
+#: happens to land at the same address, which would alias alpha keys
+#: across unrelated blocks and nondeterministically flip sharing (and
+#: backend-plan) decisions — and evicts the entry when the block dies.
+_ALPHA_CACHE: Dict[int, Tuple[Any, object]] = {}
 
 
 def _alpha_of(block: Optional[Block]):
@@ -478,11 +484,14 @@ def _alpha_of(block: Optional[Block]):
     block identity); ``None`` for an absent component."""
     if block is None:
         return None
-    key = _ALPHA_CACHE.get(id(block))
-    if key is None:
-        from .ir import alpha_key
-        key = ("k",) + (alpha_key(block),)
-        _ALPHA_CACHE[id(block)] = key
+    bid = id(block)
+    entry = _ALPHA_CACHE.get(bid)
+    if entry is not None and entry[0]() is block:
+        return entry[1]
+    from .ir import alpha_key
+    key = ("k",) + (alpha_key(block),)
+    ref = weakref.ref(block, lambda _r, bid=bid: _ALPHA_CACHE.pop(bid, None))
+    _ALPHA_CACHE[bid] = (ref, key)
     return key
 
 

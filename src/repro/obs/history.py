@@ -94,10 +94,32 @@ def append_record(rec: RunRecord,
     return path
 
 
+def _chronological(records: List[RunRecord]) -> List[RunRecord]:
+    """Order records by timestamp, not file position.
+
+    History files merged from CI artifact caches can interleave lines
+    out of append order, and the rolling-baseline window in ``regress``
+    assumes the last record is the newest. Records carrying the ``0.0``
+    default timestamp (hand-written or pre-timestamp lines) inherit the
+    effective time of their predecessor, so a legacy block keeps its
+    file order and stays glued where it appeared; the sort is stable on
+    ``(effective_time, file_index)``.
+    """
+    keyed = []
+    eff = 0.0
+    for i, r in enumerate(records):
+        if r.timestamp > 0:
+            eff = r.timestamp
+        keyed.append((eff, i, r))
+    keyed.sort(key=lambda t: (t[0], t[1]))
+    return [r for _, _, r in keyed]
+
+
 def load_history(app: str,
                  root: Optional[pathlib.Path] = None) -> List[RunRecord]:
-    """All records of one app, in append (chronological) order. Unparsable
-    lines (e.g. a torn write from a killed run) are skipped."""
+    """All records of one app, in chronological (timestamp) order —
+    see :func:`_chronological`. Unparsable lines (e.g. a torn write from
+    a killed run) are skipped."""
     path = history_path(app, root)
     if not path.exists():
         return []
@@ -110,7 +132,7 @@ def load_history(app: str,
             out.append(RunRecord.from_dict(json.loads(line)))
         except (json.JSONDecodeError, TypeError):
             continue
-    return out
+    return _chronological(out)
 
 
 def known_apps(root: Optional[pathlib.Path] = None) -> List[str]:

@@ -14,6 +14,7 @@ deterministic — the registry is a dict, not a server.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, List, Optional
 
 from ..core.interp import Def, LoopObserver
@@ -52,12 +53,8 @@ class MetricsRegistry:
         return self.counters.get(_series(name, labels), 0.0)
 
     def histogram_stats(self, name: str, **labels: Any) -> Dict[str, float]:
-        vals = self.histograms.get(_series(name, labels), [])
-        if not vals:
-            return {"count": 0}
-        s = sorted(vals)
-        return {"count": len(s), "min": s[0], "max": s[-1],
-                "mean": sum(s) / len(s), "p50": s[len(s) // 2]}
+        return self.histogram_stats_of(
+            self.histograms.get(_series(name, labels), []))
 
     def snapshot(self) -> Dict[str, Any]:
         return {
@@ -72,8 +69,14 @@ class MetricsRegistry:
         if not vals:
             return {"count": 0}
         s = sorted(vals)
+        # tail percentiles use nearest-rank (exact sample, no
+        # interpolation) so latency reports are deterministic; p50 keeps
+        # the historical upper-median convention
+        def rank(q: float) -> float:
+            return s[min(len(s) - 1, max(0, math.ceil(q * len(s)) - 1))]
         return {"count": len(s), "min": s[0], "max": s[-1],
-                "mean": sum(s) / len(s), "p50": s[len(s) // 2]}
+                "mean": sum(s) / len(s), "p50": s[len(s) // 2],
+                "p90": rank(0.90), "p95": rank(0.95), "p99": rank(0.99)}
 
     def render(self) -> str:
         """Plain-text dump, one series per line, grouped by type."""

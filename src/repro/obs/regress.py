@@ -39,6 +39,12 @@ DEFAULT_WINDOW = 5
 DEFAULT_WALL_PCT = 10.0
 #: simulated-cycle threshold — deterministic, so near-exact
 DEFAULT_CYCLE_PCT = 0.1
+#: prior records required before the wall-clock gate arms. With fewer,
+#: a single noisy bootstrap run *is* the rolling median and can
+#: permanently fail (or mask) the gate; until the window fills the app
+#: reports "warming". The deterministic cycle/digest/fallback gates are
+#: unaffected — they are exact from the second record on.
+MIN_WALL_WINDOW = 3
 
 
 @dataclass
@@ -46,7 +52,7 @@ class AppVerdict:
     """Outcome of checking one app's history."""
 
     app: str
-    status: str                      # "ok" | "bootstrap" | "regression"
+    status: str          # "ok" | "bootstrap" | "warming" | "regression"
     problems: List[str] = field(default_factory=list)
     latest: Optional[RunRecord] = None
     baseline_wall: Optional[float] = None
@@ -61,7 +67,8 @@ class AppVerdict:
 def check_records(app: str, records: Sequence[RunRecord],
                   window: int = DEFAULT_WINDOW,
                   wall_pct: float = DEFAULT_WALL_PCT,
-                  cycle_pct: float = DEFAULT_CYCLE_PCT) -> AppVerdict:
+                  cycle_pct: float = DEFAULT_CYCLE_PCT,
+                  min_wall_window: int = MIN_WALL_WINDOW) -> AppVerdict:
     """Pure comparison logic (unit-testable without touching disk)."""
     if len(records) == 0:
         return AppVerdict(app, "bootstrap", runs=0)
@@ -76,7 +83,9 @@ def check_records(app: str, records: Sequence[RunRecord],
     base_cycles = median(r.cycles for r in base)
     problems: List[str] = []
 
-    if base_wall > 0:
+    # the noisy host-wall gate needs a real baseline before it arms
+    wall_warming = len(prior) < min_wall_window
+    if base_wall > 0 and not wall_warming:
         pct = (latest.wall_s - base_wall) / base_wall * 100.0
         if pct > wall_pct:
             problems.append(
@@ -102,7 +111,9 @@ def check_records(app: str, records: Sequence[RunRecord],
             f"backend fallbacks increased: {prev.fallbacks} -> "
             f"{latest.fallbacks}")
 
-    return AppVerdict(app, "regression" if problems else "ok",
+    status = ("regression" if problems
+              else ("warming" if wall_warming else "ok"))
+    return AppVerdict(app, status,
                       problems=problems, latest=latest,
                       baseline_wall=base_wall, baseline_cycles=base_cycles,
                       runs=len(records))
@@ -134,10 +145,12 @@ def trend_table(verdicts: Sequence[AppVerdict]) -> str:
 def check_all(root=None, apps: Optional[Sequence[str]] = None,
               window: int = DEFAULT_WINDOW,
               wall_pct: float = DEFAULT_WALL_PCT,
-              cycle_pct: float = DEFAULT_CYCLE_PCT) -> List[AppVerdict]:
+              cycle_pct: float = DEFAULT_CYCLE_PCT,
+              min_wall_window: int = MIN_WALL_WINDOW) -> List[AppVerdict]:
     names = list(apps) if apps else known_apps(root)
     return [check_records(a, load_history(a, root), window=window,
-                          wall_pct=wall_pct, cycle_pct=cycle_pct)
+                          wall_pct=wall_pct, cycle_pct=cycle_pct,
+                          min_wall_window=min_wall_window)
             for a in names]
 
 
@@ -160,6 +173,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ap.add_argument("--cycle-pct", type=float, default=DEFAULT_CYCLE_PCT,
                     help="simulated-cycle threshold in percent "
                          "(default %(default)s)")
+    ap.add_argument("--min-wall-window", type=int,
+                    default=MIN_WALL_WINDOW,
+                    help="prior records required before the wall-clock "
+                         "gate arms; apps below this report 'warming' "
+                         "(default %(default)s)")
     try:
         args = ap.parse_args(argv)
     except SystemExit as e:
@@ -168,11 +186,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.window < 1:
         print("error: --window must be >= 1", file=sys.stderr)
         return EXIT_USAGE
+    if args.min_wall_window < 1:
+        print("error: --min-wall-window must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
 
     apps = ([a.strip() for a in args.apps.split(",") if a.strip()]
             if args.apps else None)
     verdicts = check_all(root=args.history, apps=apps, window=args.window,
-                         wall_pct=args.wall_pct, cycle_pct=args.cycle_pct)
+                         wall_pct=args.wall_pct, cycle_pct=args.cycle_pct,
+                         min_wall_window=args.min_wall_window)
     if not verdicts:
         print("no benchmark history found (bootstrap); nothing to check")
         return EXIT_OK
@@ -186,6 +208,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if boot:
         print(f"bootstrap (single or no record, baseline being "
               f"established): {', '.join(boot)}")
+    warm = [v.app for v in verdicts if v.status == "warming"]
+    if warm:
+        print(f"warming (wall gate armed at {args.min_wall_window} prior "
+              f"records; cycle/digest gates active): {', '.join(warm)}")
     if failed:
         return EXIT_FAIL
     print("regression check passed")

@@ -141,6 +141,17 @@ def single_node(cluster: ClusterSpec) -> ClusterSpec:
                        network_latency_us=cluster.network_latency_us)
 
 
+#: named machine models the serving layer (``repro.serve``) and the
+#: ``serve-sim`` CLI can place requests on. ``numa`` is the big NUMA box,
+#: ``ec2node``/``gpunode`` are single nodes of the two clusters (a serving
+#: replica is one machine, not a whole cluster).
+MACHINE_MODELS = {
+    "numa": NUMA_BOX,
+    "ec2node": single_node(EC2_CLUSTER),
+    "gpunode": single_node(GPU_CLUSTER),
+}
+
+
 # ---------------------------------------------------------------------------
 # System profiles: the per-framework calibration constants (§6 baselines)
 # ---------------------------------------------------------------------------

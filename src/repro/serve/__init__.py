@@ -1,0 +1,36 @@
+"""Multi-tenant serving layer: compile once, serve many (DESIGN.md §9).
+
+Four cooperating pieces turn the compiled-program pipeline into a
+request-serving system over the simulated machine models:
+
+- **cache** — compiled programs keyed ``(app, DecisionLedger.digest())``
+  so repeat requests skip the pipeline entirely;
+- **batching** — an admission queue that coalesces pending invocations
+  of the same cached program on the same payload into the lanes of one
+  vectorized execution (max-batch / max-wait knobs), with recorded
+  fallback to per-request reference execution;
+- **scheduler** — a discrete-event server multiplexing requests across
+  heterogeneous machine instances through a pluggable placement policy;
+- **simulator** — seeded open/closed-loop arrival processes and the
+  throughput / p50 / p95 / p99 report, fed through the ``obs`` metrics
+  registry and span tracer (``repro.tools serve-sim`` is the CLI).
+"""
+
+from .batching import (AdmissionQueue, Payload, Request, Response,
+                       ServeFallback, make_payload, payload_digest)
+from .cache import VARIANTS, CompiledEntry, ProgramCache
+from .scheduler import (POLICIES, FastestPlacement, LeastLoadedPlacement,
+                        MachineInstance, ProgramServer, RoundRobinPlacement,
+                        ServedApp, make_machines)
+from .simulator import (ClosedLoop, OpenLoop, ServeReport, ServeSim,
+                        quantile)
+
+__all__ = [
+    "AdmissionQueue", "Payload", "Request", "Response", "ServeFallback",
+    "make_payload", "payload_digest",
+    "VARIANTS", "CompiledEntry", "ProgramCache",
+    "POLICIES", "FastestPlacement", "LeastLoadedPlacement",
+    "MachineInstance", "ProgramServer", "RoundRobinPlacement", "ServedApp",
+    "make_machines",
+    "ClosedLoop", "OpenLoop", "ServeReport", "ServeSim", "quantile",
+]

@@ -1,0 +1,165 @@
+"""Admission queue and lane-packed batch formation.
+
+The NumPy backend already executes every multiloop across a lane axis
+(``backend/vectorize.py``); the batcher exploits that by coalescing
+pending invocations of the *same cached program on the same payload*
+into one vectorized execution whose lanes all requests share. Grouping
+is by content — ``payload_digest`` fingerprints the input structure —
+so the packed execution is literally the single execution each request
+would have run alone, which is what makes batched results and
+``ExecStats`` bit-identical to sequential runs (the acceptance bar).
+Requests whose payloads differ never share lanes: packing them into one
+loop would merge their reductions and bucket keys, i.e. change answers.
+
+Two knobs bound the admission window: ``max_batch`` caps how many
+requests one execution may serve, and ``max_wait`` caps how long the
+oldest request may sit waiting for lane-mates before the group
+dispatches anyway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def _walk(h, v: Any) -> None:
+    if v is None:
+        h.update(b"N")
+    elif isinstance(v, bool):
+        h.update(b"B1" if v else b"B0")
+    elif isinstance(v, int):
+        h.update(b"I%d;" % v)
+    elif isinstance(v, float):
+        h.update(b"F" + struct.pack("<d", v))
+    elif isinstance(v, str):
+        h.update(b"S%d;" % len(v) + v.encode("utf-8", "replace"))
+    elif isinstance(v, (list, tuple)):
+        h.update(b"L%d;" % len(v))
+        for x in v:
+            _walk(h, x)
+    elif isinstance(v, dict):
+        h.update(b"D%d;" % len(v))
+        for k in sorted(v, key=str):
+            _walk(h, str(k))
+            _walk(h, v[k])
+    else:
+        # structured rows (dataclass-like) fall back to a stable repr
+        h.update(b"O" + repr(v).encode("utf-8", "replace"))
+
+
+def payload_digest(inputs: Dict[str, Any]) -> str:
+    """Content fingerprint of a request's inputs (16 hex chars)."""
+    h = hashlib.sha256()
+    _walk(h, inputs)
+    return h.hexdigest()[:16]
+
+
+@dataclass(eq=False)
+class Payload:
+    """A request's inputs plus the grouping key derived from them."""
+
+    inputs: Dict[str, Any]
+    key: str
+
+
+def make_payload(inputs: Dict[str, Any],
+                 salt: Optional[str] = None) -> Payload:
+    """Build a payload; ``salt`` forges a *distinct logical* payload
+    sharing the same data (traffic simulation: many tenants, same
+    measured dataset) — salted payloads never lane-pack together."""
+    key = payload_digest(inputs)
+    if salt is not None:
+        key = f"{key}:{salt}"
+    return Payload(inputs, key)
+
+
+@dataclass(eq=False)
+class Request:
+    """One invocation of a served app."""
+
+    rid: int
+    app: str
+    payload: Payload
+    arrival_s: float
+    #: closed-loop client index, or -1 for open-loop traffic
+    client: int = -1
+
+
+@dataclass(eq=False)
+class Response:
+    request: Request
+    results: Tuple[Any, ...]
+    stats: Any                    # ExecStats of the execution that served it
+    backend: str
+    batch_id: int
+    batch_size: int
+    start_s: float
+    finish_s: float
+    #: True when this response shared a vectorized execution's lanes
+    #: with at least one other request
+    lane_packed: bool
+    fallback_reason: Optional[str] = None
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.request.arrival_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.start_s - self.request.arrival_s
+
+
+@dataclass
+class ServeFallback:
+    """Recorded (never silent) drop to per-request reference execution —
+    the serving-layer mirror of the backend's ``FallbackRecord``."""
+
+    app: str
+    reason: str
+    requests: int
+
+
+class AdmissionQueue:
+    """Pending requests grouped by ``(app, payload.key)``.
+
+    A group is *ready* once it holds ``max_batch`` requests or its
+    oldest request has waited ``max_wait_s``. ``next_ready`` picks the
+    ready group whose head has waited longest (FIFO across groups), so
+    admission order is deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._groups: Dict[Tuple[str, str], List[Request]] = {}
+
+    def push(self, req: Request) -> Tuple[str, str]:
+        key = (req.app, req.payload.key)
+        self._groups.setdefault(key, []).append(req)
+        return key
+
+    def next_ready(self, now: float, max_batch: int,
+                   max_wait_s: float) -> Optional[Tuple[str, str]]:
+        best: Optional[Tuple[float, Tuple[str, str]]] = None
+        for key, reqs in self._groups.items():
+            if not reqs:
+                continue
+            head = reqs[0].arrival_s
+            ready = (len(reqs) >= max_batch
+                     or now - head >= max_wait_s - 1e-12)
+            if ready and (best is None or head < best[0]):
+                best = (head, key)
+        return None if best is None else best[1]
+
+    def take(self, key: Tuple[str, str], max_batch: int) -> List[Request]:
+        reqs = self._groups.get(key, [])
+        out, rest = reqs[:max_batch], reqs[max_batch:]
+        if rest:
+            self._groups[key] = rest
+        else:
+            self._groups.pop(key, None)
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(r) for r in self._groups.values())

@@ -1,0 +1,398 @@
+"""Discrete-event request scheduler with pluggable placement.
+
+``ProgramServer`` multiplexes heterogeneous requests across a set of
+simulated machine models (``runtime/machine.py``): arrivals enter the
+admission queue, the batcher forms lane-packed groups (``batching.py``),
+a placement policy picks an idle machine, and the priced simulated
+execution time (``runtime/executor.Simulator``) advances that machine's
+clock. Time is fully simulated — the host only ever runs each distinct
+``(app, payload)`` once per backend, so serving a thousand requests
+costs one functional execution plus arithmetic.
+
+Execution semantics mirror the backend contract:
+
+- on the ``numpy`` backend a group of N identical payloads executes
+  **once**, and all N responses share that execution's lanes — results
+  and ``ExecStats`` are bit-identical to N sequential runs by backend
+  determinism (see ``batching.py``);
+- any other backend, and any execution failure, falls back to
+  per-request reference execution, recorded as a :class:`ServeFallback`
+  exactly as the backend records interpreter fallbacks.
+
+Placement is declarative (Mapple-style): a policy object chooses among
+idle machines and nothing else in the scheduler changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..backend import resolve_backend
+from ..core.ir import Program
+from ..runtime.executor import (ExecOptions, RunCapture, Simulator,
+                                capture_run)
+from ..runtime.machine import (DMLL_CPP, ClusterSpec, MACHINE_MODELS,
+                               SystemProfile)
+from .batching import (AdmissionQueue, Payload, Request, Response,
+                       ServeFallback, make_payload)
+from .cache import ProgramCache
+
+
+@dataclass
+class ServedApp:
+    """An app the server accepts requests for."""
+
+    name: str
+    factory: Callable[[], Program]
+    default_inputs: Dict[str, Any]
+    #: compute/data scale factors back to the paper's dataset sizes —
+    #: the same ones the app's benchmark bundle prices with
+    scale: float = 1.0
+    data_scale: Optional[float] = None
+
+    @classmethod
+    def from_bundle(cls, name: str) -> "ServedApp":
+        from ..bench.apps import get_bundle
+        b = get_bundle(name)
+        return cls(name, b._factory, b.inputs, b.scale, b.data_scale)
+
+
+@dataclass
+class MachineInstance:
+    """One serving replica: a machine model plus its scheduler state."""
+
+    name: str
+    cluster: ClusterSpec
+    profile: SystemProfile = DMLL_CPP
+    #: compile variant requests placed here run ("gpu" on GPU nodes)
+    variant: str = "opt"
+    use_gpu: bool = False
+    index: int = 0
+    busy_until: float = 0.0
+    busy_s: float = 0.0
+    batches: int = 0
+
+
+def make_machines(spec: str) -> List[MachineInstance]:
+    """Parse ``"numa*2,gpunode"`` against ``MACHINE_MODELS``."""
+    out: List[MachineInstance] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, count = part.partition("*")
+        name = name.strip()
+        if name not in MACHINE_MODELS:
+            raise ValueError(f"unknown machine model {name!r}; expected "
+                             f"one of {sorted(MACHINE_MODELS)}")
+        n = int(count) if count else 1
+        for _ in range(n):
+            gpu = name == "gpunode"
+            out.append(MachineInstance(
+                name, MACHINE_MODELS[name],
+                variant="gpu" if gpu else "opt", use_gpu=gpu,
+                index=len(out)))
+    if not out:
+        raise ValueError(f"machine spec {spec!r} names no machines")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# placement policies
+# ---------------------------------------------------------------------------
+
+class RoundRobinPlacement:
+    """Cycle through machines, skipping busy ones."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def place(self, server: "ProgramServer", idle: List[MachineInstance],
+              requests: List[Request], now: float) -> MachineInstance:
+        m = min(idle, key=lambda m: ((m.index - self._cursor)
+                                     % len(server.machines)))
+        self._cursor = m.index + 1
+        return m
+
+
+class LeastLoadedPlacement:
+    """Machine with the least accumulated busy time so far."""
+
+    name = "least-loaded"
+
+    def place(self, server: "ProgramServer", idle: List[MachineInstance],
+              requests: List[Request], now: float) -> MachineInstance:
+        return min(idle, key=lambda m: (m.busy_s, m.index))
+
+
+class FastestPlacement:
+    """Machine predicted to execute *this* batch fastest — the policy
+    that actually exploits heterogeneity (a GPU node wins the dense
+    kernels, the NUMA box wins irregular ones)."""
+
+    name = "fastest"
+
+    def place(self, server: "ProgramServer", idle: List[MachineInstance],
+              requests: List[Request], now: float) -> MachineInstance:
+        return min(idle, key=lambda m: (
+            server.predict_service(m, requests[0].app, requests[0].payload),
+            m.index))
+
+
+POLICIES: Dict[str, Callable[[], Any]] = {
+    "round-robin": RoundRobinPlacement,
+    "least-loaded": LeastLoadedPlacement,
+    "fastest": FastestPlacement,
+}
+
+
+# ---------------------------------------------------------------------------
+# the server
+# ---------------------------------------------------------------------------
+
+class ProgramServer:
+    """Serve requests against cached compiles on simulated machines.
+
+    Drive it either directly (``submit`` + ``run``) or through an
+    arrival process object with a ``prime(server)`` hook
+    (``serve.simulator``). ``on_complete`` callbacks fire per response
+    in completion order — closed-loop workloads use them to issue the
+    next request.
+    """
+
+    def __init__(self, apps: Sequence[ServedApp],
+                 machines: Optional[List[MachineInstance]] = None,
+                 max_batch: int = 8, max_wait_s: float = 0.02,
+                 policy: Any = "round-robin",
+                 backend: Optional[str] = None,
+                 metrics: Optional[Any] = None,
+                 tracer: Optional[Any] = None,
+                 cache: Optional[ProgramCache] = None):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self.apps: Dict[str, ServedApp] = {a.name: a for a in apps}
+        self.machines = machines or make_machines("numa")
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.policy = POLICIES[policy]() if isinstance(policy, str) else policy
+        self.backend = resolve_backend(backend)
+        self.metrics = metrics
+        self.tracer = tracer
+        self.cache = cache or ProgramCache(
+            {n: a.factory for n, a in self.apps.items()}, metrics=metrics)
+        self.queue = AdmissionQueue()
+        self.responses: List[Response] = []
+        self.fallbacks: List[ServeFallback] = []
+        self.on_complete: List[Callable[["ProgramServer", Response],
+                                        None]] = []
+        self.now = 0.0
+        self._events: List[Tuple[float, int, str, Any]] = []
+        self._seq = 0
+        self._rid = 0
+        self._bid = 0
+        self._root = None
+        # host-side memos: one functional execution per distinct
+        # (app, variant, payload, backend); one pricing per machine model
+        self._captures: Dict[Tuple[str, str, str, str], RunCapture] = {}
+        self._service: Dict[Tuple[str, str, str, str, str], float] = {}
+        self._payloads: Dict[Tuple[str, Optional[str]], Payload] = {}
+
+    # -- request admission ----------------------------------------------
+
+    def payload_for(self, app: str,
+                    salt: Optional[str] = None) -> Payload:
+        """The app's default payload, optionally salted into a distinct
+        logical tenant (memoized so equal salts share lane groups)."""
+        key = (app, salt)
+        if key not in self._payloads:
+            self._payloads[key] = make_payload(
+                self.apps[app].default_inputs, salt=salt)
+        return self._payloads[key]
+
+    def submit(self, app: str, payload: Optional[Payload] = None,
+               at: float = 0.0, client: int = -1) -> Request:
+        if app not in self.apps:
+            raise KeyError(f"unknown app {app!r}; served apps: "
+                           f"{sorted(self.apps)}")
+        req = Request(self._rid, app, payload or self.payload_for(app),
+                      at, client)
+        self._rid += 1
+        self._push(at, "arrive", req)
+        return req
+
+    def _push(self, t: float, kind: str, data: Any) -> None:
+        heapq.heappush(self._events, (t, self._seq, kind, data))
+        self._seq += 1
+
+    # -- the event loop --------------------------------------------------
+
+    def run(self, source: Optional[Any] = None) -> List[Response]:
+        if source is not None:
+            source.prime(self)
+        if self.tracer is not None and self.tracer.enabled:
+            self._root = self.tracer.begin_run(
+                "serve", backend=self.backend,
+                policy=getattr(self.policy, "name", "?"),
+                machines=len(self.machines), max_batch=self.max_batch,
+                max_wait_s=self.max_wait_s)
+        while self._events:
+            t, _, kind, data = heapq.heappop(self._events)
+            self.now = t
+            if kind == "arrive":
+                self.queue.push(data)
+                if self.metrics is not None:
+                    self.metrics.inc("serve.requests", app=data.app)
+                # the group must dispatch no later than this request's
+                # wait deadline even if the batch never fills
+                self._push(t + self.max_wait_s, "flush", None)
+                self._dispatch(t)
+            elif kind == "flush":
+                self._dispatch(t)
+            else:  # complete
+                machine, responses = data
+                self.responses.extend(responses)
+                if self.metrics is not None:
+                    for r in responses:
+                        self.metrics.observe("serve.latency_s", r.latency_s,
+                                             app=r.request.app)
+                        self.metrics.observe("serve.queue_wait_s",
+                                             r.queue_wait_s)
+                for r in responses:
+                    for hook in self.on_complete:
+                        hook(self, r)
+                self._dispatch(t)
+        makespan = max((r.finish_s for r in self.responses), default=0.0)
+        if self._root is not None:
+            self._root.dur_s = makespan
+            self._root.set(requests=len(self.responses),
+                           batches=self._bid, makespan_s=makespan)
+        if self.metrics is not None:
+            self.metrics.gauge("serve.makespan_s", makespan)
+        return self.responses
+
+    def _dispatch(self, now: float) -> None:
+        while True:
+            idle = [m for m in self.machines if m.busy_until <= now + 1e-15]
+            if not idle:
+                return
+            key = self.queue.next_ready(now, self.max_batch, self.max_wait_s)
+            if key is None:
+                return
+            requests = self.queue.take(key, self.max_batch)
+            machine = self.policy.place(self, idle, requests, now)
+            self._execute_batch(machine, requests, now)
+
+    # -- execution --------------------------------------------------------
+
+    def _capture(self, app: str, variant: str,
+                 payload: Payload) -> RunCapture:
+        ckey = (app, variant, payload.key, self.backend)
+        cap = self._captures.get(ckey)
+        if cap is None:
+            entry = self.cache.get(app, variant)
+            cap = capture_run(entry.compiled, payload.inputs,
+                              backend=self.backend)
+            self._captures[ckey] = cap
+        return cap
+
+    def _price(self, machine: MachineInstance, app: str,
+               cap: RunCapture, payload: Payload) -> float:
+        skey = (machine.name, app, machine.variant, payload.key,
+                cap.backend)
+        svc = self._service.get(skey)
+        if svc is None:
+            served = self.apps[app]
+            entry = self.cache.get(app, machine.variant)
+            opts = ExecOptions(scale=served.scale,
+                               data_scale=served.data_scale,
+                               use_gpu=machine.use_gpu,
+                               gpu_transposed=machine.use_gpu)
+            svc = Simulator(entry.compiled, machine.cluster, machine.profile,
+                            opts).price(cap).total_seconds
+            self._service[skey] = svc
+        return svc
+
+    def predict_service(self, machine: MachineInstance, app: str,
+                        payload: Payload) -> float:
+        """Per-request service time on ``machine`` (placement input)."""
+        try:
+            cap = self._capture(app, machine.variant, payload)
+        except Exception:
+            cap = self._reference_capture(app, machine.variant, payload)
+        return self._price(machine, app, cap, payload)
+
+    def _reference_capture(self, app: str, variant: str,
+                           payload: Payload) -> RunCapture:
+        ckey = (app, variant, payload.key, "reference")
+        cap = self._captures.get(ckey)
+        if cap is None:
+            entry = self.cache.get(app, variant)
+            cap = capture_run(entry.compiled, payload.inputs,
+                              backend="reference")
+            self._captures[ckey] = cap
+        return cap
+
+    def _execute_batch(self, machine: MachineInstance,
+                       requests: List[Request], now: float) -> None:
+        app = requests[0].app
+        payload = requests[0].payload
+        n = len(requests)
+        bid = self._bid
+        self._bid += 1
+
+        fallback_reason: Optional[str] = None
+        if self.backend == "numpy":
+            try:
+                cap = self._capture(app, machine.variant, payload)
+            except Exception as exc:  # recorded, never silent
+                fallback_reason = f"numpy execution failed: {exc}"
+        else:
+            fallback_reason = (f"backend={self.backend!r} has no lane "
+                               f"axis; per-request reference execution")
+
+        if fallback_reason is None:
+            # lane-packed path: ONE execution serves every request in
+            # the group — its lanes are the batch
+            svc = self._price(machine, app, cap, payload)
+            finish = now + svc
+            responses = [Response(r, cap.results, cap.stats, cap.backend,
+                                  bid, n, now, finish, lane_packed=n > 1)
+                         for r in requests]
+            if self.metrics is not None and n > 1:
+                self.metrics.inc("serve.lane_packed_requests", n, app=app)
+        else:
+            cap = self._reference_capture(app, machine.variant, payload)
+            single = self._price(machine, app, cap, payload)
+            svc = single * n
+            responses = [Response(r, cap.results, cap.stats, cap.backend,
+                                  bid, n, now, now + single * (i + 1),
+                                  lane_packed=False,
+                                  fallback_reason=fallback_reason)
+                         for i, r in enumerate(requests)]
+            finish = now + svc
+            self.fallbacks.append(ServeFallback(app, fallback_reason, n))
+            if self.metrics is not None:
+                self.metrics.inc("serve.fallback", app=app)
+
+        machine.busy_until = finish
+        machine.busy_s += svc
+        machine.batches += 1
+        if self.metrics is not None:
+            self.metrics.inc("serve.batches", app=app)
+            self.metrics.observe("serve.batch_size", float(n), app=app)
+            self.metrics.observe("serve.service_s", svc,
+                                 machine=machine.name)
+        if self._root is not None:
+            self._root.child(
+                f"b{bid}:{app}x{n}", "batch", now, svc,
+                machine=machine.index, app=app, batch=n,
+                lane_packed=fallback_reason is None and n > 1,
+                backend=cap.backend, service_s=svc,
+                fallback=fallback_reason)
+        self._push(finish, "complete", (machine, responses))

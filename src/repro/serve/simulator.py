@@ -1,0 +1,244 @@
+"""Serving simulator: arrival processes and latency reporting.
+
+Drives a :class:`~repro.serve.scheduler.ProgramServer` with a seeded
+traffic model and reduces the responses to the numbers a capacity
+planner wants: throughput, p50/p95/p99 latency, batch-size and
+machine-utilization profiles. Two arrival processes, both deterministic
+for a given seed:
+
+- **open loop** — Poisson arrivals at a fixed rate; requests pile up if
+  the fleet can't keep up (the honest tail-latency regime);
+- **closed loop** — N clients each keep one request in flight and think
+  between requests (the Helix-style QueryManager regime).
+
+``payloads > 1`` salts requests into that many distinct logical tenants
+sharing the measured dataset, which throttles lane-packing exactly the
+way distinct-tenant traffic would.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .cache import ProgramCache
+from .scheduler import ProgramServer, ServedApp, make_machines
+
+
+def quantile(sorted_vals: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile (exact sample, deterministic)."""
+    if not sorted_vals:
+        return 0.0
+    i = min(len(sorted_vals) - 1, max(0, math.ceil(q * len(sorted_vals)) - 1))
+    return sorted_vals[i]
+
+
+class OpenLoop:
+    """Poisson arrivals at ``rate_rps``, app and tenant picked per
+    request from the seeded RNG."""
+
+    def __init__(self, apps: Sequence[str], rate_rps: float, requests: int,
+                 seed: int = 0, payloads: int = 1):
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be > 0")
+        self.apps = list(apps)
+        self.rate_rps = rate_rps
+        self.requests = requests
+        self.seed = seed
+        self.payloads = max(1, payloads)
+
+    def prime(self, server: ProgramServer) -> None:
+        rng = random.Random(self.seed)
+        t = 0.0
+        for _ in range(self.requests):
+            t += rng.expovariate(self.rate_rps)
+            app = rng.choice(self.apps)
+            salt = (f"p{rng.randrange(self.payloads)}"
+                    if self.payloads > 1 else None)
+            server.submit(app, server.payload_for(app, salt), at=t)
+
+
+class ClosedLoop:
+    """``clients`` concurrent clients, one request in flight each,
+    ``think_s`` between a response and the next request, ``requests``
+    total across all clients."""
+
+    def __init__(self, apps: Sequence[str], clients: int, requests: int,
+                 think_s: float = 0.0, seed: int = 0, payloads: int = 1):
+        if clients < 1:
+            raise ValueError("clients must be >= 1")
+        self.apps = list(apps)
+        self.clients = clients
+        self.requests = requests
+        self.think_s = think_s
+        self.seed = seed
+        self.payloads = max(1, payloads)
+        self._rng = random.Random(self.seed)
+        self._issued = 0
+
+    def _issue(self, server: ProgramServer, client: int, at: float) -> None:
+        if self._issued >= self.requests:
+            return
+        self._issued += 1
+        app = self._rng.choice(self.apps)
+        salt = (f"p{self._rng.randrange(self.payloads)}"
+                if self.payloads > 1 else None)
+        server.submit(app, server.payload_for(app, salt), at=at,
+                      client=client)
+
+    def prime(self, server: ProgramServer) -> None:
+        self._rng = random.Random(self.seed)
+        self._issued = 0
+        server.on_complete.append(self._on_complete)
+        for c in range(min(self.clients, self.requests)):
+            self._issue(server, c, at=0.0)
+
+    def _on_complete(self, server: ProgramServer, resp) -> None:
+        if resp.request.client >= 0:
+            self._issue(server, resp.request.client,
+                        at=resp.finish_s + self.think_s)
+
+
+@dataclass
+class ServeReport:
+    """One simulated serving run, reduced."""
+
+    mode: str
+    requests: int
+    batches: int
+    makespan_s: float
+    throughput_rps: float
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    batch_mean: float
+    batch_max: int
+    lane_packed_requests: int
+    fallbacks: int
+    cache: Dict[str, int]
+    machine_util: Dict[str, float]
+    latencies_s: List[float] = field(default_factory=list)
+
+    def render(self) -> str:
+        from ..report.tables import render_table
+        rows = [
+            ["requests", self.requests],
+            ["batches", f"{self.batches} (mean {self.batch_mean:.2f}, "
+                        f"max {self.batch_max})"],
+            ["lane-packed requests", self.lane_packed_requests],
+            ["fallbacks", self.fallbacks],
+            ["makespan", f"{self.makespan_s * 1e3:.3f} ms"],
+            ["throughput", f"{self.throughput_rps:.1f} req/s"],
+            ["latency p50", f"{self.latency_p50_s * 1e3:.3f} ms"],
+            ["latency p95", f"{self.latency_p95_s * 1e3:.3f} ms"],
+            ["latency p99", f"{self.latency_p99_s * 1e3:.3f} ms"],
+            ["program cache", f"{self.cache['hits']} hits / "
+                              f"{self.cache['misses']} compiles"],
+        ]
+        for name, util in sorted(self.machine_util.items()):
+            rows.append([f"util {name}", f"{util * 100.0:.1f}%"])
+        return render_table(["metric", "value"], rows,
+                            title=f"serving simulation ({self.mode} loop)")
+
+    def to_json(self) -> Dict[str, Any]:
+        doc = {k: v for k, v in self.__dict__.items() if k != "latencies_s"}
+        # the CI latency-histogram artifact: bucketed counts over the
+        # full latency range plus the raw quantiles above
+        doc["latency_histogram"] = self.latency_histogram()
+        return doc
+
+    def latency_histogram(self, buckets: int = 20) -> Dict[str, Any]:
+        if not self.latencies_s:
+            return {"buckets": [], "counts": []}
+        lo, hi = min(self.latencies_s), max(self.latencies_s)
+        width = (hi - lo) / buckets or 1e-12
+        counts = [0] * buckets
+        for v in self.latencies_s:
+            counts[min(buckets - 1, int((v - lo) / width))] += 1
+        edges = [lo + i * width for i in range(buckets + 1)]
+        return {"buckets": edges, "counts": counts}
+
+
+class ServeSim:
+    """Facade: one compiled-program cache, many simulated traffic runs."""
+
+    def __init__(self, apps: Sequence[str], machines: str = "numa",
+                 max_batch: int = 8, max_wait_s: float = 0.02,
+                 policy: str = "round-robin",
+                 backend: Optional[str] = None, payloads: int = 1,
+                 metrics: Optional[Any] = None,
+                 tracer: Optional[Any] = None):
+        self.app_names = list(apps)
+        self.served = [ServedApp.from_bundle(a) for a in self.app_names]
+        self.machine_spec = machines
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.policy = policy
+        self.backend = backend
+        self.payloads = payloads
+        self.metrics = metrics
+        self.tracer = tracer
+        #: compile once — every run() below serves from this cache
+        self.cache = ProgramCache({a.name: a.factory for a in self.served},
+                                  metrics=metrics)
+        self.last_server: Optional[ProgramServer] = None
+
+    def _server(self) -> ProgramServer:
+        return ProgramServer(
+            self.served, make_machines(self.machine_spec),
+            max_batch=self.max_batch, max_wait_s=self.max_wait_s,
+            policy=self.policy, backend=self.backend,
+            metrics=self.metrics, tracer=self.tracer, cache=self.cache)
+
+    def run_open(self, rate_rps: float, requests: int,
+                 seed: int = 0) -> ServeReport:
+        source = OpenLoop(self.app_names, rate_rps, requests, seed=seed,
+                          payloads=self.payloads)
+        return self._run("open", source)
+
+    def run_closed(self, clients: int, requests: int,
+                   think_s: float = 0.0, seed: int = 0) -> ServeReport:
+        source = ClosedLoop(self.app_names, clients, requests,
+                            think_s=think_s, seed=seed,
+                            payloads=self.payloads)
+        return self._run("closed", source)
+
+    def _run(self, mode: str, source: Any) -> ServeReport:
+        server = self._server()
+        self.last_server = server
+        responses = server.run(source)
+        return self.report(mode, server, responses)
+
+    @staticmethod
+    def report(mode: str, server: ProgramServer,
+               responses: List[Any]) -> ServeReport:
+        lats = sorted(r.latency_s for r in responses)
+        makespan = max((r.finish_s for r in responses), default=0.0)
+        seen: Dict[int, int] = {}
+        for r in responses:
+            seen[r.batch_id] = r.batch_size
+        batch_sizes = list(seen.values())
+        return ServeReport(
+            mode=mode,
+            requests=len(responses),
+            batches=len(batch_sizes),
+            makespan_s=makespan,
+            throughput_rps=(len(responses) / makespan) if makespan else 0.0,
+            latency_mean_s=(sum(lats) / len(lats)) if lats else 0.0,
+            latency_p50_s=quantile(lats, 0.50),
+            latency_p95_s=quantile(lats, 0.95),
+            latency_p99_s=quantile(lats, 0.99),
+            batch_mean=(sum(batch_sizes) / len(batch_sizes))
+                       if batch_sizes else 0.0,
+            batch_max=max(batch_sizes, default=0),
+            lane_packed_requests=sum(1 for r in responses if r.lane_packed),
+            fallbacks=len(server.fallbacks),
+            cache=server.cache.stats(),
+            machine_util={
+                f"{m.name}[{m.index}]":
+                    (m.busy_s / makespan) if makespan else 0.0
+                for m in server.machines},
+            latencies_s=lats)

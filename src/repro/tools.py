@@ -17,6 +17,9 @@ Usage::
     python -m repro.tools explain kmeans         # decision provenance
     python -m repro.tools explain kmeans --loop cs --json
     python -m repro.tools explain kmeans --explain-diff no-fusion
+    python -m repro.tools serve-sim kmeans       # serving simulation
+    python -m repro.tools serve-sim kmeans q1 --rate 200 --requests 64
+    python -m repro.tools serve-sim kmeans --machines numa*2,gpunode
     python -m repro.tools --list
 
 Exit codes (repo-wide convention): 0 ok, 1 check failed, 2 bad usage.
@@ -75,10 +78,16 @@ def _run_observed(args) -> int:
               f"apps with one: {', '.join(sorted(_FACTORIES))}",
               file=sys.stderr)
         return EXIT_USAGE
+    from .backend import resolve_backend_ex
     from .obs import (MetricsRegistry, Tracer, profile_report,
                       write_chrome_trace)
     from .runtime import DMLL_CPP, GPU_CLUSTER, NUMA_BOX, single_node
 
+    try:
+        _, backend_source = resolve_backend_ex(args.backend)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     bundle = get_bundle(args.app)
     gpu = args.target == "gpu"
     variant = "gpu" if gpu else ("plain" if args.no_transforms else "opt")
@@ -94,7 +103,10 @@ def _run_observed(args) -> int:
         print(profile_report(
             sim, title=f"{args.app} on {cluster.name} "
                        f"({'GPU' if gpu else 'CPU'}), simulated time"))
-        print(f"execution backend: {sim.backend}")
+        # name the backend AND where the choice came from, so a CI
+        # matrix leg with a broken REPRO_BACKEND can't pass unnoticed
+        print(f"execution backend: {sim.backend} "
+              f"(resolved from {backend_source})")
         if sim.backend != "reference":
             if sim.fallbacks:
                 for fb in sim.fallbacks:
@@ -187,10 +199,123 @@ def explain_main(argv=None) -> int:
     return EXIT_OK
 
 
+def serve_main(argv=None) -> int:
+    """``repro.tools serve-sim <app> [...]``: run the serving simulator."""
+    ap = argparse.ArgumentParser(
+        prog="repro.tools serve-sim",
+        description="Simulate serving many concurrent invocations of "
+                    "cached compiled programs: seeded open- or "
+                    "closed-loop traffic, lane-packed batching on the "
+                    "NumPy backend, pluggable placement across machine "
+                    "models; reports throughput and p50/p95/p99 latency.")
+    ap.add_argument("apps", nargs="*",
+                    help="served applications (need bundled datasets)")
+    ap.add_argument("--requests", type=int, default=64,
+                    help="total requests (default %(default)s)")
+    ap.add_argument("--rate", type=float, default=None, metavar="RPS",
+                    help="open-loop Poisson arrival rate in req/s "
+                         "(default: closed loop)")
+    ap.add_argument("--clients", type=int, default=8,
+                    help="closed-loop concurrent clients "
+                         "(default %(default)s)")
+    ap.add_argument("--think-ms", type=float, default=0.0,
+                    help="closed-loop think time between requests")
+    ap.add_argument("--batch", type=int, default=8,
+                    help="max requests one lane-packed execution serves "
+                         "(default %(default)s)")
+    ap.add_argument("--max-wait-ms", type=float, default=20.0,
+                    help="admission window: max time a request waits for "
+                         "lane-mates (default %(default)s)")
+    ap.add_argument("--payloads", type=int, default=1,
+                    help="distinct logical payloads per app (tenants); "
+                         "only equal payloads lane-pack")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="traffic RNG seed (same seed, same report)")
+    ap.add_argument("--policy",
+                    choices=("round-robin", "least-loaded", "fastest"),
+                    default="round-robin",
+                    help="placement policy across the machine fleet")
+    ap.add_argument("--machines", default="numa", metavar="SPEC",
+                    help='machine fleet, e.g. "numa*2,gpunode" '
+                         "(default %(default)s)")
+    ap.add_argument("--backend", choices=("reference", "numpy"),
+                    default="numpy",
+                    help="functional engine; only numpy lane-packs "
+                         "(default %(default)s)")
+    ap.add_argument("--latency-out", metavar="FILE.json",
+                    help="write the latency histogram + quantiles JSON")
+    ap.add_argument("--trace-out", metavar="FILE.json",
+                    help="write a Chrome-trace (Perfetto) JSON of the "
+                         "serving run")
+    ap.add_argument("--metrics", action="store_true",
+                    help="print the serving metrics registry")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the report as JSON instead of a table")
+    try:
+        args = ap.parse_args(argv)
+    except SystemExit as e:
+        return int(e.code or 0)
+    if not args.apps:
+        print("serve-sim requires at least one application name",
+              file=sys.stderr)
+        return EXIT_USAGE
+    from .bench.apps import _FACTORIES
+    bad = [a for a in args.apps if a not in _FACTORIES]
+    if bad:
+        print(f"serve-sim needs bundled datasets; unknown: "
+              f"{', '.join(bad)} (have: {', '.join(sorted(_FACTORIES))})",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if args.requests < 1 or args.batch < 1 or args.payloads < 1:
+        print("--requests/--batch/--payloads must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+
+    from .obs import MetricsRegistry, Tracer, write_chrome_trace
+    from .serve import ServeSim
+    metrics = MetricsRegistry()
+    tracer = Tracer() if args.trace_out else None
+    try:
+        sim = ServeSim(args.apps, machines=args.machines,
+                       max_batch=args.batch,
+                       max_wait_s=args.max_wait_ms / 1e3,
+                       policy=args.policy, backend=args.backend,
+                       payloads=args.payloads, metrics=metrics,
+                       tracer=tracer)
+        if args.rate is not None:
+            report = sim.run_open(args.rate, args.requests, seed=args.seed)
+        else:
+            report = sim.run_closed(args.clients, args.requests,
+                                    think_s=args.think_ms / 1e3,
+                                    seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.json:
+        print(_json.dumps(report.to_json(), indent=2, default=str))
+    else:
+        print(report.render())
+        for fb in sim.last_server.fallbacks:
+            print(f"  fallback {fb.app} x{fb.requests}: {fb.reason}")
+    if args.metrics:
+        print(metrics.render())
+    if args.latency_out:
+        with open(args.latency_out, "w") as fh:
+            _json.dump(report.to_json(), fh, indent=1, default=str)
+            fh.write("\n")
+        print(f"wrote latency report to {args.latency_out}")
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, tracer)
+        print(f"wrote Chrome trace to {args.trace_out}")
+    return EXIT_OK
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "explain":
         return explain_main(argv[1:])
+    if argv and argv[0] == "serve-sim":
+        return serve_main(argv[1:])
     ap = argparse.ArgumentParser(prog="repro.tools", description=__doc__)
     ap.add_argument("app", nargs="?", help="application name (see --list)")
     ap.add_argument("--list", action="store_true", help="list applications")

@@ -18,7 +18,7 @@ from hypothesis import strategies as st
 
 from repro import frontend as F
 from repro.backend import (FallbackRecord, resolve_backend,
-                           run_program_numpy)
+                           resolve_backend_ex, run_program_numpy)
 from repro.bench.apps import get_bundle
 from repro.core import run_program
 from repro.core import types as T
@@ -107,6 +107,32 @@ class TestSelection:
         with pytest.raises(ValueError):
             resolve_backend("cuda")
 
+    def test_blank_env_is_an_error_not_default(self, monkeypatch):
+        # REPRO_BACKEND= (set but empty) used to silently mean "default";
+        # a mistyped CI matrix leg must fail loudly instead
+        monkeypatch.setenv("REPRO_BACKEND", "")
+        with pytest.raises(ValueError, match="blank"):
+            resolve_backend(None)
+        monkeypatch.setenv("REPRO_BACKEND", "   ")
+        with pytest.raises(ValueError, match="blank"):
+            resolve_backend(None)
+        # an explicit argument still wins over the broken env
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_env_whitespace_is_stripped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "  numpy \n")
+        assert resolve_backend(None) == "numpy"
+        assert resolve_backend(" reference ") == "reference"
+        with pytest.raises(ValueError, match="blank"):
+            resolve_backend("")
+
+    def test_resolution_source_is_reported(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend_ex(None) == ("reference", "default")
+        assert resolve_backend_ex("numpy") == ("numpy", "argument")
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert resolve_backend_ex(None) == ("numpy", "env:REPRO_BACKEND")
+
     def test_compiled_run_backend_param(self):
         bundle = get_bundle("logreg")
         compiled = bundle.compiled("opt")
@@ -135,6 +161,51 @@ class TestFallback:
         assert len(fallbacks) == 1
         assert isinstance(fallbacks[0], FallbackRecord)
         assert "associative" in fallbacks[0].reason
+
+
+# ---------------------------------------------------------------------------
+# Alpha-key cache: id() reuse must never alias blocks
+# ---------------------------------------------------------------------------
+
+class TestAlphaCache:
+    """The loop-share plan caches alpha keys by ``id(block)``. Python
+    recycles addresses, so a stale entry for a dead block must never
+    serve a new block that lands at the same address — that aliasing
+    nondeterministically flipped sharing (and backend-plan) decisions
+    between otherwise identical compiles."""
+
+    @staticmethod
+    def _some_block():
+        prog = F.build(lambda xs: xs.reduce(lambda a, b: a + b, 0),
+                       [F.InputSpec("xs", T.Coll(T.INT), True)])
+        from repro.core.multiloop import MultiLoop
+        for d in prog.body.stmts:
+            if isinstance(d.op, MultiLoop):
+                return d.op.gens[0].value
+        raise AssertionError("no multiloop staged")
+
+    def test_dead_block_entry_is_evicted(self):
+        import gc
+        from repro.core.interp import _ALPHA_CACHE, _alpha_of
+        block = self._some_block()
+        _alpha_of(block)
+        bid = id(block)
+        assert bid in _ALPHA_CACHE
+        del block
+        gc.collect()
+        assert bid not in _ALPHA_CACHE
+
+    def test_recycled_id_recomputes_instead_of_aliasing(self):
+        import weakref
+        from repro.core.interp import _ALPHA_CACHE, _alpha_of
+        block = self._some_block()
+        true_key = _alpha_of(block)
+        # plant what an id() collision with a dead block looks like: an
+        # entry under this block's id whose referent is gone
+        dead = type("Dead", (), {})()
+        _ALPHA_CACHE[id(block)] = (weakref.ref(dead), ("k", "stale"))
+        del dead
+        assert _alpha_of(block) == true_key
 
 
 # ---------------------------------------------------------------------------

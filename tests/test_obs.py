@@ -176,13 +176,24 @@ class TestMetrics:
         assert m.counter("a") == 3.0
         assert m.counter("a", loop="x") == 5.0
         assert m.histogram_stats("h") == {"count": 2, "min": 1.0, "max": 3.0,
-                                          "mean": 2.0, "p50": 3.0}
+                                          "mean": 2.0, "p50": 3.0,
+                                          "p90": 3.0, "p95": 3.0, "p99": 3.0}
+        assert m.histogram_stats("absent") == {"count": 0}
         snap = m.snapshot()
         assert snap["counters"]["a{loop=x}"] == 5.0
         text = m.render()
         assert "counters:" in text and "a{loop=x}" in text
         m.clear()
         assert m.render() == "(no metrics recorded)"
+
+    def test_histogram_tail_percentiles_nearest_rank(self):
+        m = MetricsRegistry()
+        for v in range(1, 101):
+            m.observe("lat", float(v))
+        st = m.histogram_stats("lat")
+        assert (st["p50"], st["p90"], st["p95"], st["p99"]) == \
+            (51.0, 90.0, 95.0, 99.0)
+        assert st["max"] == 100.0
 
     def test_executor_feeds_metrics(self):
         metrics = MetricsRegistry()

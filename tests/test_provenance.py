@@ -206,6 +206,34 @@ class TestHistory:
         r = RunRecord.from_dict(doc)
         assert r.extra["future_field"] == 7
 
+    def _write_lines(self, tmp_path, walls_and_ts):
+        # craft the JSONL by hand: append_record stamps timestamps, and
+        # these tests need explicit (possibly zero) ones
+        p = tmp_path / "kmeans.jsonl"
+        with p.open("w") as fh:
+            for wall, ts in walls_and_ts:
+                r = rec(wall=wall)
+                r.timestamp = ts
+                fh.write(r.to_json_line() + "\n")
+        return p
+
+    def test_out_of_order_lines_sorted_by_timestamp(self, tmp_path):
+        # records merged from CI artifact caches can interleave: the
+        # newest line is NOT last in the file, but must be after loading
+        self._write_lines(tmp_path,
+                          [(0.3, 300.0), (0.1, 100.0), (0.2, 200.0)])
+        out = load_history("kmeans", root=tmp_path)
+        assert [r.wall_s for r in out] == [0.1, 0.2, 0.3]
+
+    def test_zero_timestamp_records_keep_file_order(self, tmp_path):
+        # legacy lines with the 0.0 default glue to their predecessor
+        # and stay in file order relative to each other
+        self._write_lines(tmp_path,
+                          [(0.1, 0.0), (0.2, 0.0), (0.3, 50.0),
+                           (0.4, 0.0), (0.35, 25.0)])
+        out = load_history("kmeans", root=tmp_path)
+        assert [r.wall_s for r in out] == [0.1, 0.2, 0.35, 0.3, 0.4]
+
 
 # ---------------------------------------------------------------------------
 # regression checker
@@ -217,8 +245,30 @@ class TestRegress:
         assert check_records("kmeans", [rec()]).status == "bootstrap"
 
     def test_identical_runs_pass(self):
-        v = check_records("kmeans", [rec(), rec(), rec()])
+        v = check_records("kmeans", [rec(), rec(), rec(), rec()])
         assert v.status == "ok" and v.ok
+
+    def test_short_history_reports_warming(self):
+        # with fewer than MIN_WALL_WINDOW prior records the noisy wall
+        # gate hasn't armed yet: status says so, but nothing fails
+        v = check_records("kmeans", [rec(), rec(), rec()])
+        assert v.status == "warming" and v.ok and not v.problems
+
+    def test_warming_suppresses_wall_gate_only(self):
+        # a single noisy bootstrap record must not become the baseline:
+        # +100% wall over one prior record is ignored while warming...
+        v = check_records("kmeans", [rec(wall=0.1), rec(wall=0.2)])
+        assert v.status == "warming" and v.ok
+        # ...but the deterministic gates still fire during warmup
+        v = check_records("kmeans", [rec(cycles=1000), rec(cycles=1100)])
+        assert v.status == "regression"
+        assert any("cycle regression" in p for p in v.problems)
+
+    def test_wall_gate_arms_once_window_filled(self):
+        hist = [rec(wall=0.1)] * 3 + [rec(wall=0.2)]
+        v = check_records("kmeans", hist)
+        assert v.status == "regression"
+        assert any("wall-clock regression" in p for p in v.problems)
 
     def test_wall_regression_detected(self):
         hist = [rec(wall=0.1)] * 5 + [rec(wall=0.12)]  # +20% > 10%

@@ -1,0 +1,382 @@
+"""The serving layer (DESIGN.md §9): compiled-program cache, lane-packed
+batching, placement, and the seeded serving simulator.
+
+The load-bearing contract is the differential one: a lane-packed batch
+of N identical requests is served by ONE vectorized execution whose
+results and ``ExecStats`` are bit-identical to what each request would
+get from its own sequential run — batching may change wall-clock and
+nothing else, the same bar the NumPy backend itself holds against the
+reference interpreter.
+"""
+
+import io
+import json
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro import tools
+from repro.backend import run_program_numpy
+from repro.core.values import deep_eq
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.check import validate_file
+from repro.serve import (POLICIES, AdmissionQueue, ProgramCache,
+                         ProgramServer, Request, ServeSim, ServedApp,
+                         make_machines, make_payload, payload_digest)
+
+DIFF_APPS = ["kmeans", "logreg", "q1"]
+
+STAT_FIELDS = ["total_cycles", "elements_read", "bytes_read",
+               "elements_emitted", "bytes_alloc", "loops_executed",
+               "loop_iterations"]
+
+
+def assert_stats_equal(ref, got):
+    for f in STAT_FIELDS:
+        assert getattr(ref, f) == getattr(got, f), (
+            f"stats field {f}: sequential={getattr(ref, f)!r} "
+            f"batched={getattr(got, f)!r}")
+    assert dict(ref.op_counts) == dict(got.op_counts)
+    assert ref.def_records == got.def_records
+
+
+def serve_batch(app, n, max_batch=None, **kwargs):
+    served = ServedApp.from_bundle(app)
+    kwargs.setdefault("max_wait_s", 0.05)
+    kwargs.setdefault("backend", "numpy")
+    server = ProgramServer([served], max_batch=max_batch or n, **kwargs)
+    for _ in range(n):
+        server.submit(app, at=0.0)
+    return server, server.run()
+
+
+# ---------------------------------------------------------------------------
+# the differential acceptance bar
+# ---------------------------------------------------------------------------
+
+class TestLanePackedDifferential:
+    @pytest.mark.parametrize("app", DIFF_APPS)
+    def test_batch_bit_identical_to_sequential(self, app):
+        n = 4
+        server, responses = serve_batch(app, n)
+        assert len(responses) == n
+        assert all(r.lane_packed and r.batch_size == n for r in responses)
+        assert server.fallbacks == []
+
+        # the sequential truth: each request run alone, fresh, on the
+        # same compiled program
+        entry = server.cache.get(app)
+        prepared = entry.compiled.prepare_inputs(
+            server.apps[app].default_inputs)
+        for r in responses:
+            seq_results, seq_stats, seq_fb = run_program_numpy(
+                entry.compiled.program, prepared)
+            assert seq_fb == []
+            assert deep_eq(seq_results, r.results, tol=0.0)
+            assert_stats_equal(seq_stats, r.stats)
+
+    def test_batch_is_one_execution(self, monkeypatch):
+        # N lane-packed requests must cost ONE functional execution
+        from repro.runtime import executor as rexec
+        calls = []
+        real = rexec.capture_run
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr("repro.serve.scheduler.capture_run", counting)
+        _, responses = serve_batch("q1", 6)
+        assert len(responses) == 6
+        assert len(calls) == 1
+
+
+# ---------------------------------------------------------------------------
+# payload grouping
+# ---------------------------------------------------------------------------
+
+class TestPayloads:
+    def test_digest_is_content_addressed(self):
+        a = payload_digest({"xs": [1, 2, 3], "k": 2.5})
+        assert a == payload_digest({"k": 2.5, "xs": [1, 2, 3]})
+        assert a != payload_digest({"xs": [1, 2, 4], "k": 2.5})
+        assert payload_digest({"x": 1}) != payload_digest({"x": 1.0})
+
+    def test_salted_payloads_do_not_pack(self):
+        served = ServedApp.from_bundle("q1")
+        server = ProgramServer([served], max_batch=2, max_wait_s=0.001,
+                               backend="numpy")
+        server.submit("q1", server.payload_for("q1", "a"), at=0.0)
+        server.submit("q1", server.payload_for("q1", "a"), at=0.0)
+        server.submit("q1", server.payload_for("q1", "b"), at=0.0)
+        responses = server.run()
+        by_batch = {}
+        for r in responses:
+            by_batch.setdefault(r.batch_id, []).append(r)
+        sizes = sorted(len(v) for v in by_batch.values())
+        assert sizes == [1, 2]
+
+    def test_admission_queue_fifo_and_window(self):
+        q = AdmissionQueue()
+        p = make_payload({"x": 1})
+        for i, at in enumerate([0.0, 0.001, 0.002]):
+            q.push(Request(i, "a", p, at))
+        # batch not full, window not expired
+        assert q.next_ready(0.002, max_batch=4, max_wait_s=0.01) is None
+        # window expires relative to the OLDEST request
+        key = q.next_ready(0.0101, max_batch=4, max_wait_s=0.01)
+        assert key == ("a", p.key)
+        assert [r.rid for r in q.take(key, 2)] == [0, 1]
+        assert len(q) == 1
+
+
+# ---------------------------------------------------------------------------
+# batching window behavior through the server
+# ---------------------------------------------------------------------------
+
+class TestBatching:
+    def test_max_batch_splits_requests(self):
+        server, responses = serve_batch("q1", 5, max_batch=2,
+                                        max_wait_s=0.001)
+        sizes = {}
+        for r in responses:
+            sizes[r.batch_id] = r.batch_size
+        assert sorted(sizes.values()) == [1, 2, 2]
+
+    def test_max_wait_delays_lone_request(self):
+        served = ServedApp.from_bundle("q1")
+        server = ProgramServer([served], max_batch=8, max_wait_s=0.005,
+                               backend="numpy")
+        server.submit("q1", at=0.0)
+        (r,) = server.run()
+        # a lone request dispatches at its wait deadline, not instantly
+        assert r.start_s == pytest.approx(0.005)
+        assert r.queue_wait_s == pytest.approx(0.005)
+        assert not r.lane_packed  # nobody joined its lanes
+
+    def test_zero_wait_dispatches_immediately(self):
+        served = ServedApp.from_bundle("q1")
+        server = ProgramServer([served], max_batch=8, max_wait_s=0.0,
+                               backend="numpy")
+        server.submit("q1", at=0.0)
+        (r,) = server.run()
+        assert r.start_s == 0.0
+
+
+# ---------------------------------------------------------------------------
+# fallback semantics (recorded, never silent — like the backend's)
+# ---------------------------------------------------------------------------
+
+class TestFallback:
+    def test_reference_backend_serves_per_request(self):
+        server, responses = serve_batch("q1", 3, backend="reference")
+        assert all(not r.lane_packed for r in responses)
+        assert all(r.fallback_reason for r in responses)
+        assert all(r.backend == "reference" for r in responses)
+        assert len(server.fallbacks) == 1
+        assert server.fallbacks[0].requests == 3
+        # per-request execution: finishes are staggered, not shared
+        finishes = sorted(r.finish_s for r in responses)
+        assert finishes[0] < finishes[1] < finishes[2]
+        # results are exactly the reference interpreter's (bitwise —
+        # the fallback IS a reference execution, not an approximation)
+        from repro.core import run_program
+        entry = server.cache.get("q1")
+        prepared = entry.compiled.prepare_inputs(
+            server.apps["q1"].default_inputs)
+        seq_results, _ = run_program(entry.compiled.program, prepared)
+        for r in responses:
+            assert deep_eq(seq_results, r.results, tol=0.0)
+
+    def test_numpy_failure_falls_back_to_reference(self, monkeypatch):
+        served = ServedApp.from_bundle("q1")
+        server = ProgramServer([served], max_batch=2, max_wait_s=0.0,
+                               backend="numpy")
+
+        def boom(app, variant, payload):
+            raise RuntimeError("lane explosion")
+
+        monkeypatch.setattr(server, "_capture", boom)
+        server.submit("q1", at=0.0)
+        (r,) = server.run()
+        assert r.backend == "reference"
+        assert "lane explosion" in r.fallback_reason
+        assert len(server.fallbacks) == 1
+        assert "lane explosion" in server.fallbacks[0].reason
+
+
+# ---------------------------------------------------------------------------
+# the compiled-program cache
+# ---------------------------------------------------------------------------
+
+class TestProgramCache:
+    def test_compiles_once_and_counts_hits(self):
+        served = ServedApp.from_bundle("q1")
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return served.factory()
+
+        cache = ProgramCache({"q1": factory})
+        e1 = cache.get("q1")
+        e2 = cache.get("q1")
+        assert e1 is e2 and len(calls) == 1
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        assert e1.hits == 1 and e1.compile_s > 0
+
+    def test_digest_pinned_lookup(self):
+        cache = ProgramCache({"q1": ServedApp.from_bundle("q1").factory})
+        entry = cache.get("q1")
+        assert len(entry.digest) == 16
+        assert cache.lookup("q1", entry.digest) is entry
+        assert cache.lookup("q1", "0" * 16) is None
+
+    def test_unknown_app_and_variant_error(self):
+        cache = ProgramCache({"q1": ServedApp.from_bundle("q1").factory})
+        with pytest.raises(KeyError):
+            cache.get("nosuchapp")
+        with pytest.raises(KeyError):
+            cache.get("q1", "nosuchvariant")
+
+
+# ---------------------------------------------------------------------------
+# placement across machines
+# ---------------------------------------------------------------------------
+
+class TestPlacement:
+    def test_make_machines_parses_spec(self):
+        ms = make_machines("numa*2,gpunode")
+        assert [m.name for m in ms] == ["numa", "numa", "gpunode"]
+        assert [m.index for m in ms] == [0, 1, 2]
+        assert ms[2].use_gpu and ms[2].variant == "gpu"
+        with pytest.raises(ValueError):
+            make_machines("warpdrive")
+        with pytest.raises(ValueError):
+            make_machines("")
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_policies_spread_salted_load(self, policy):
+        served = ServedApp.from_bundle("q1")
+        server = ProgramServer([served], make_machines("numa*2"),
+                               max_batch=1, max_wait_s=0.0, policy=policy,
+                               backend="numpy")
+        # salted payloads can't pack, so 4 ready singleton groups exist
+        # at t=0 — with 2 idle machines both must be used
+        for i in range(4):
+            server.submit("q1", server.payload_for("q1", f"s{i}"), at=0.0)
+        server.run()
+        used = [m for m in server.machines if m.batches > 0]
+        assert len(used) == 2
+
+    def test_heterogeneous_apps_multiplex(self):
+        apps = [ServedApp.from_bundle("kmeans"), ServedApp.from_bundle("q1")]
+        server = ProgramServer(apps, make_machines("numa*2"), max_batch=2,
+                               max_wait_s=0.001, backend="numpy")
+        for i in range(4):
+            server.submit("kmeans" if i % 2 == 0 else "q1", at=0.0)
+        responses = server.run()
+        assert {r.request.app for r in responses} == {"kmeans", "q1"}
+        # kmeans and q1 never share a batch (different programs)
+        for r in responses:
+            mates = [x for x in responses if x.batch_id == r.batch_id]
+            assert {x.request.app for x in mates} == {r.request.app}
+
+
+# ---------------------------------------------------------------------------
+# the seeded serving simulator
+# ---------------------------------------------------------------------------
+
+class TestServeSim:
+    def test_same_seed_same_tail(self):
+        def run():
+            sim = ServeSim(["q1"], machines="numa", max_batch=4,
+                           max_wait_s=0.002, backend="numpy", payloads=2)
+            rep = sim.run_closed(clients=4, requests=12, think_s=0.001,
+                                 seed=7)
+            return rep
+        a, b = run(), run()
+        assert a.latency_p99_s == b.latency_p99_s
+        assert a.throughput_rps == b.throughput_rps
+        assert a.latencies_s == b.latencies_s
+
+    def test_different_seed_different_schedule(self):
+        sim = ServeSim(["q1"], machines="numa", max_batch=4,
+                       max_wait_s=0.002, backend="numpy", payloads=3)
+        a = sim.run_open(rate_rps=500, requests=16, seed=1)
+        b = sim.run_open(rate_rps=500, requests=16, seed=2)
+        assert a.latencies_s != b.latencies_s
+
+    def test_open_loop_reports_and_metrics(self):
+        m = MetricsRegistry()
+        sim = ServeSim(["q1"], machines="numa", max_batch=4,
+                       max_wait_s=0.005, backend="numpy", metrics=m)
+        rep = sim.run_open(rate_rps=400, requests=10, seed=3)
+        assert rep.requests == 10
+        assert rep.throughput_rps > 0
+        assert rep.latency_p50_s <= rep.latency_p95_s <= rep.latency_p99_s
+        assert m.counter("serve.requests", app="q1") == 10.0
+        hist = rep.latency_histogram()
+        assert sum(hist["counts"]) == 10
+
+    def test_closed_loop_keeps_clients_in_flight(self):
+        sim = ServeSim(["q1"], machines="numa", max_batch=8,
+                       max_wait_s=0.001, backend="numpy")
+        rep = sim.run_closed(clients=3, requests=9, think_s=0.0, seed=0)
+        assert rep.requests == 9
+        server = sim.last_server
+        clients = [r.request.client for r in server.responses]
+        assert sorted(set(clients)) == [0, 1, 2]
+
+    def test_shared_cache_across_runs(self):
+        sim = ServeSim(["q1"], backend="numpy")
+        sim.run_closed(clients=2, requests=4, seed=0)
+        sim.run_closed(clients=2, requests=4, seed=1)
+        assert sim.cache.stats()["misses"] == 1  # compiled exactly once
+
+    def test_trace_validates(self, tmp_path):
+        from repro.obs import write_chrome_trace
+        tr = Tracer()
+        sim = ServeSim(["q1"], backend="numpy", tracer=tr)
+        sim.run_closed(clients=2, requests=6, seed=0)
+        path = tmp_path / "serve.json"
+        write_chrome_trace(str(path), tr.last_run)
+        assert validate_file(str(path)) == []
+
+
+# ---------------------------------------------------------------------------
+# the serve-sim CLI
+# ---------------------------------------------------------------------------
+
+class TestServeCLI:
+    def run(self, *argv):
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            code = tools.main(list(argv))
+        return code, buf.getvalue()
+
+    def test_closed_loop_smoke(self, tmp_path):
+        lat = tmp_path / "lat.json"
+        trace = tmp_path / "trace.json"
+        code, out = self.run("serve-sim", "q1", "--clients", "2",
+                             "--requests", "6", "--batch", "2",
+                             "--seed", "1", "--latency-out", str(lat),
+                             "--trace-out", str(trace))
+        assert code == 0
+        assert "throughput" in out and "latency p99" in out
+        doc = json.loads(lat.read_text())
+        assert doc["requests"] == 6
+        assert "latency_histogram" in doc
+        assert validate_file(str(trace)) == []
+
+    def test_json_report(self):
+        code, out = self.run("serve-sim", "q1", "--requests", "4",
+                             "--clients", "2", "--json")
+        assert code == 0
+        assert json.loads(out)["requests"] == 4
+
+    def test_usage_errors(self):
+        assert self.run("serve-sim")[0] == 2
+        assert self.run("serve-sim", "nosuchapp")[0] == 2
+        assert self.run("serve-sim", "q1", "--requests", "0")[0] == 2
+        assert self.run("serve-sim", "q1", "--machines", "warpdrive")[0] == 2
