@@ -85,6 +85,10 @@ def measure_app(app: str) -> dict:
         "sim_throughput_rps": report.throughput_rps,
         "sim_p50_s": report.latency_p50_s,
         "sim_p99_s": report.latency_p99_s,
+        # the per-app/per-replica breakdowns ride into the JSON artifact
+        # so a latency shift can be localized without re-running
+        "sim_latency_by_app": report.latency_by_app,
+        "sim_latency_by_machine": report.latency_by_machine,
     }
 
 

@@ -24,6 +24,7 @@ per-iteration cost vectors are identical to a pure reference run.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -60,9 +61,15 @@ class NumpyInterp(Interp):
     backend = "numpy"
 
     def __init__(self, stats: Optional[ExecStats] = None,
-                 observer: Optional[LoopObserver] = None):
+                 observer: Optional[LoopObserver] = None,
+                 profile_host: bool = False):
         super().__init__(stats, observer)
         self.fallbacks: List[FallbackRecord] = []
+        #: host wall-clock seconds per top-level loop; populated only when
+        #: ``profile_host`` — cost-model calibration data, never part of
+        #: functional results or simulated pricing
+        self.profile_host = profile_host
+        self.host_loop_s: Dict[str, float] = {}
         self._loop_depth = 0           # >0 while inside a fallback loop
         self._plans: Dict[int, Any] = {}
         # per-host-collection caches, keyed by object identity (collections
@@ -177,6 +184,17 @@ class NumpyInterp(Interp):
     # -- loop dispatch -----------------------------------------------------
 
     def _eval_loop(self, d: Def, loop: MultiLoop) -> None:
+        if not self.profile_host or self._loop_depth:
+            return self._eval_loop_impl(d, loop)
+        t0 = time.perf_counter()
+        try:
+            return self._eval_loop_impl(d, loop)
+        finally:
+            name = d.syms[0].name
+            self.host_loop_s[name] = (self.host_loop_s.get(name, 0.0)
+                                      + time.perf_counter() - t0)
+
+    def _eval_loop_impl(self, d: Def, loop: MultiLoop) -> None:
         if self._loop_depth:  # nested loop during a fallback: stay scalar
             return super()._eval_loop(d, loop)
         reason = self._plans.get(id(loop), _UNPLANNED)

@@ -20,16 +20,24 @@ from .diagnostics import DiagCategory, Diagnostic, Severity
 from .metrics import MetricsObserver, MetricsRegistry
 from .provenance import (Decision, DecisionKind, DecisionLedger,
                          diff_ledgers, emit, ledger_scope)
-from .spans import Span, Tracer
-from .export import (chrome_trace_events, profile_report, render_spans,
-                     write_chrome_trace)
+from .spans import RequestContext, RequestTimeline, Span, Tracer
+from .export import (chrome_trace_events, flow_events, profile_report,
+                     render_spans, write_chrome_trace)
+from .profile import (collapse_stacks, prometheus_text, render_collapsed,
+                      write_collapsed, write_prometheus)
+from .slo import (BurnWindow, ObjectiveResult, SLOObjective, SLOReport,
+                  SLOSpec, evaluate_slo)
 
 __all__ = [
     "DiagCategory", "Diagnostic", "Severity",
     "MetricsObserver", "MetricsRegistry",
     "Decision", "DecisionKind", "DecisionLedger",
     "diff_ledgers", "emit", "ledger_scope",
-    "Span", "Tracer",
-    "chrome_trace_events", "profile_report", "render_spans",
+    "RequestContext", "RequestTimeline", "Span", "Tracer",
+    "chrome_trace_events", "flow_events", "profile_report", "render_spans",
     "write_chrome_trace",
+    "collapse_stacks", "prometheus_text", "render_collapsed",
+    "write_collapsed", "write_prometheus",
+    "BurnWindow", "ObjectiveResult", "SLOObjective", "SLOReport",
+    "SLOSpec", "evaluate_slo",
 ]

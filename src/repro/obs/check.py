@@ -4,8 +4,13 @@ Checks the structural invariants a trace viewer relies on — the file is
 valid JSON, events carry the required keys, complete ("X") events have
 non-negative numeric ``ts``/``dur``, timestamps are monotonically
 non-decreasing per track, and child intervals do not escape the root run
-span. Exit status 0 when every file passes, 1 otherwise. Used by CI on
-the traces emitted for every bundled app.
+span. Flow events (the request→batch arrows the serving tracer emits)
+are checked pairwise: every flow id must have exactly one start ("s")
+and one finish ("f") with matching name/category, the finish must not
+precede the start, and both endpoints must land inside a complete event
+on their own track — otherwise the viewer silently drops the arrow.
+Exit status 0 when every file passes, 1 otherwise. Used by CI on the
+traces emitted for every bundled app and on the serving traces.
 """
 
 from __future__ import annotations
@@ -49,6 +54,56 @@ def validate_events(events: List[dict]) -> List[str]:
                     and e["ts"] + e["dur"] > run_end + 1.0):  # 1us tolerance
                 errors.append(f"event {i} ({e.get('name')}): interval ends "
                               f"after the run span")
+    errors.extend(validate_flows(events, xs))
+    return errors
+
+
+def _enclosed(xs: List[dict], track, ts: float) -> bool:
+    """Is ``ts`` inside (or on the edge of) some complete event on
+    ``track``? Flow endpoints bind to enclosing slices; a bare endpoint
+    is an arrow the viewer drops."""
+    for e in xs:
+        if ((e.get("pid"), e.get("tid")) == track
+                and isinstance(e.get("ts"), (int, float))
+                and isinstance(e.get("dur"), (int, float))
+                and e["ts"] - 1e-6 <= ts <= e["ts"] + e["dur"] + 1e-6):
+            return True
+    return False
+
+
+def validate_flows(events: List[dict], xs: List[dict]) -> List[str]:
+    """Pairwise flow-event checks (empty list when no flows present)."""
+    errors: List[str] = []
+    flows: dict = {}
+    for e in events:
+        if e.get("ph") in ("s", "t", "f"):
+            flows.setdefault(e.get("id"), []).append(e)
+    for fid, evs in sorted(flows.items(), key=lambda kv: str(kv[0])):
+        starts = [e for e in evs if e["ph"] == "s"]
+        ends = [e for e in evs if e["ph"] == "f"]
+        if len(starts) != 1 or len(ends) != 1:
+            errors.append(f"flow {fid}: expected one start and one finish, "
+                          f"got {len(starts)} start(s) / {len(ends)} "
+                          f"finish(es)")
+            continue
+        s, f = starts[0], ends[0]
+        if s.get("name") != f.get("name") or s.get("cat") != f.get("cat"):
+            errors.append(f"flow {fid}: start/finish name or category "
+                          f"mismatch")
+        ts_s, ts_f = s.get("ts"), f.get("ts")
+        if not isinstance(ts_s, (int, float)) \
+                or not isinstance(ts_f, (int, float)):
+            errors.append(f"flow {fid}: non-numeric ts")
+            continue
+        if ts_f < ts_s - 1e-6:
+            errors.append(f"flow {fid}: finish ts {ts_f} precedes start "
+                          f"ts {ts_s}")
+        for e, which in ((s, "start"), (f, "finish")):
+            track = (e.get("pid"), e.get("tid"))
+            if not _enclosed(xs, track, e["ts"]):
+                errors.append(f"flow {fid}: {which} endpoint at ts "
+                              f"{e['ts']} has no enclosing slice on "
+                              f"track {track}")
     return errors
 
 

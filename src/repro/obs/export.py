@@ -78,6 +78,13 @@ def _clean_args(attrs: Dict[str, Any]) -> Dict[str, Any]:
     return out
 
 
+#: request-lifecycle spans live in their own trace process so each
+#: request gets a private track and overlapping lifecycles never fight
+#: over slice nesting on the machine tracks
+_REQUEST_PID = 2
+_REQUEST_KINDS = ("request", "queue", "exec")
+
+
 def _tid_of(sp: Span) -> int:
     """Track assignment: the run/loop timeline is tid 0; each simulated
     machine gets its own tid so its chunks nest under its loop row in the
@@ -86,21 +93,73 @@ def _tid_of(sp: Span) -> int:
     return 0 if m is None else int(m) + 1
 
 
+def _pid_tid_of(sp: Span) -> tuple:
+    if sp.kind in _REQUEST_KINDS:
+        return _REQUEST_PID, int(sp.attrs.get("rid", 0))
+    return 1, _tid_of(sp)
+
+
+def flow_events(roots: Iterable[Span]) -> List[dict]:
+    """Chrome-trace flow arrows from request spans into the lane-packed
+    execution spans that served them.
+
+    Every ``request``-kind span carrying a ``batch_id`` contributes one
+    flow: a start ("s") on the request's own track at its dispatch
+    time, and a finish ("f", binding to the enclosing slice) on the
+    matching ``batch`` span's machine track at the batch's start — N
+    requests served by one execution render as N arrows converging on
+    one slice. The flow id is the request's deterministic
+    ``RequestContext.flow_id``, so traces diff byte-for-byte across
+    same-seed runs.
+    """
+    batches: dict = {}
+    requests: List[Span] = []
+    for root in roots:
+        for sp, _depth in root.walk():
+            if sp.kind == "batch" and "batch_id" in sp.attrs:
+                batches[sp.attrs["batch_id"]] = sp
+            elif sp.kind == "request" and "batch_id" in sp.attrs:
+                requests.append(sp)
+    events: List[dict] = []
+    for sp in sorted(requests, key=lambda s: int(s.attrs.get("rid", 0))):
+        batch = batches.get(sp.attrs["batch_id"])
+        if batch is None:
+            continue
+        fid = int(sp.attrs.get("flow_id", sp.attrs.get("rid", 0)))
+        src_ts = float(sp.attrs.get("dispatch_s", sp.start_s))
+        events.append({
+            "name": "req", "cat": "flow", "ph": "s", "id": fid,
+            "pid": _REQUEST_PID, "tid": int(sp.attrs.get("rid", 0)),
+            "ts": round(src_ts * _US, 3),
+        })
+        events.append({
+            "name": "req", "cat": "flow", "ph": "f", "bp": "e", "id": fid,
+            "pid": 1, "tid": _tid_of(batch),
+            "ts": round(batch.start_s * _US, 3),
+        })
+    return events
+
+
 def chrome_trace_events(source: Union[Tracer, Span]) -> List[dict]:
-    """Flatten span tree(s) into Chrome trace events (``ph: "X"``)."""
-    roots: Iterable[Span]
+    """Flatten span tree(s) into Chrome trace events (``ph: "X"``),
+    plus request↔batch flow arrows when request spans are present."""
+    roots: List[Span]
     roots = source.runs if isinstance(source, Tracer) else [source]
     events: List[dict] = []
     tids = {0}
+    req_tids: dict = {}
     for root in roots:
         for sp, _depth in root.walk():
-            tid = _tid_of(sp)
-            tids.add(tid)
+            pid, tid = _pid_tid_of(sp)
+            if pid == 1:
+                tids.add(tid)
+            elif sp.kind == "request":
+                req_tids[tid] = sp.name
             events.append({
                 "name": sp.name,
                 "cat": sp.kind,
                 "ph": "X",
-                "pid": 1,
+                "pid": pid,
                 "tid": tid,
                 "ts": round(sp.start_s * _US, 3),
                 "dur": round(sp.dur_s * _US, 3),
@@ -112,7 +171,14 @@ def chrome_trace_events(source: Union[Tracer, Span]) -> List[dict]:
         label = "timeline" if tid == 0 else f"machine {tid - 1}"
         meta.append({"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
                      "args": {"name": label}})
-    return meta + events
+    if req_tids:
+        meta.append({"name": "process_name", "ph": "M", "pid": _REQUEST_PID,
+                     "tid": 0, "args": {"name": "requests"}})
+        for tid in sorted(req_tids):
+            meta.append({"name": "thread_name", "ph": "M",
+                         "pid": _REQUEST_PID, "tid": tid,
+                         "args": {"name": req_tids[tid]}})
+    return meta + events + flow_events(roots)
 
 
 def write_chrome_trace(path: str, source: Union[Tracer, Span]) -> None:

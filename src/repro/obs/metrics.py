@@ -66,8 +66,13 @@ class MetricsRegistry:
 
     @staticmethod
     def histogram_stats_of(vals: List[float]) -> Dict[str, float]:
+        # every key is always present: an empty histogram (count 0, all
+        # stats 0.0) and a single sample (every percentile IS the
+        # sample) must be well-defined, not KeyErrors or index errors
+        # in whoever reads the snapshot
         if not vals:
-            return {"count": 0}
+            return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p95": 0.0, "p99": 0.0}
         s = sorted(vals)
         # tail percentiles use nearest-rank (exact sample, no
         # interpolation) so latency reports are deterministic; p50 keeps

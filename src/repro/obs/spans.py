@@ -14,8 +14,70 @@ the executor never allocates a span.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """Trace identity of one serving request.
+
+    Both ids derive from ``(seed, rid)`` alone so two runs with the
+    same traffic seed produce byte-identical traces: ``trace_id`` is a
+    32-hex (OTel-sized) id for the request's whole lifecycle,
+    ``span_id`` the 16-hex id of its request span. The numeric
+    ``flow_id`` keys the Chrome-trace flow arrow from this request into
+    the lane-packed execution that served it.
+    """
+
+    trace_id: str
+    span_id: str
+    rid: int
+
+    @property
+    def flow_id(self) -> int:
+        return int(self.span_id, 16) & 0x7FFFFFFF
+
+    @classmethod
+    def derive(cls, seed: int, rid: int) -> "RequestContext":
+        h = hashlib.sha256(f"serve:{seed}:{rid}".encode()).hexdigest()
+        return cls(h[:32], h[32:48], rid)
+
+
+#: lifecycle stages every request passes through, in order; the
+#: timeline records the simulated second each one happened at
+TIMELINE_MARKS = ("arrive", "enqueue", "seal", "dispatch", "exec_start",
+                  "complete")
+
+
+@dataclass
+class RequestTimeline:
+    """Per-request lifecycle timeline over the simulated serve clock.
+
+    ``arrive`` — the request hits the server; ``enqueue`` — it enters
+    its admission-queue group; ``seal`` — the batcher closes the group
+    it belongs to; ``dispatch`` — the scheduler places the sealed batch
+    on a machine; ``exec_start`` — its (possibly shared) execution
+    begins; ``complete`` — its response is final. Marks are monotone
+    non-decreasing, which ``repro.obs.check`` relies on.
+    """
+
+    ctx: RequestContext
+    marks: Dict[str, float] = field(default_factory=dict)
+
+    def mark(self, stage: str, t: float) -> None:
+        if stage not in TIMELINE_MARKS:
+            raise ValueError(f"unknown lifecycle stage {stage!r}")
+        self.marks[stage] = t
+
+    def get(self, stage: str) -> Optional[float]:
+        return self.marks.get(stage)
+
+    def ordered(self) -> List[Tuple[str, float]]:
+        """(stage, t) pairs in lifecycle order, only recorded stages."""
+        return [(s, self.marks[s]) for s in TIMELINE_MARKS
+                if s in self.marks]
 
 
 @dataclass

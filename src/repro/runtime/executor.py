@@ -170,18 +170,25 @@ class RunCapture:
     #: per-loop FallbackRecord list (vectorized backend only; empty means
     #: every loop executed vectorized)
     fallbacks: List[Any] = field(default_factory=list)
+    #: host wall-clock seconds per top-level loop (``profile_host`` only;
+    #: empty otherwise) — feeds calibration metrics, never simulated time
+    host_loop_s: Dict[str, float] = field(default_factory=dict)
 
 
 def capture_run(compiled: CompiledProgram, inputs: Dict[str, Any],
                 observer: Optional[LoopObserver] = None,
-                backend: Optional[str] = None) -> RunCapture:
+                backend: Optional[str] = None,
+                profile_host: bool = False) -> RunCapture:
     """Execute once on the instrumented interpreter.
 
     ``observer`` composes an extra hook (e.g. ``repro.obs.MetricsObserver``)
     with the per-iteration cost collector. ``backend`` selects the
     functional engine (``repro.backend.resolve_backend`` policy); the
     vectorized backend yields identical results/stats and records any
-    per-loop interpreter fallbacks on the capture."""
+    per-loop interpreter fallbacks on the capture. ``profile_host``
+    additionally records host wall-clock per top-level loop on the
+    capture (``host_loop_s``) — real time for calibrating the cost
+    model, kept strictly out of simulated pricing."""
     from ..backend import resolve_backend
     backend = resolve_backend(backend)
     prog = compiled.program
@@ -192,12 +199,13 @@ def capture_run(compiled: CompiledProgram, inputs: Dict[str, Any],
     composed = obs if observer is None else MultiObserver(obs, observer)
     if backend == "numpy":
         from ..backend import NumpyInterp
-        interp = NumpyInterp(observer=composed)
+        interp = NumpyInterp(observer=composed, profile_host=profile_host)
     else:
         interp = Interp(observer=composed)
     results = interp.eval_program(prog, prepared)
     stats = interp.stats
     fallbacks = list(getattr(interp, "fallbacks", ()))
+    host_loop_s = dict(getattr(interp, "host_loop_s", ()) or {})
 
     footprints: Dict[int, int] = {}
     for d in prog.body.stmts:
@@ -208,7 +216,7 @@ def capture_run(compiled: CompiledProgram, inputs: Dict[str, Any],
         if rec.sym_id not in footprints and rec.output_len:
             footprints[rec.sym_id] = max(rec.bytes_alloc, rec.output_len * 8)
     return RunCapture(compiled, results, stats, obs.costs, footprints,
-                      backend, fallbacks)
+                      backend, fallbacks, host_loop_s)
 
 
 class Simulator:

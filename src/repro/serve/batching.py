@@ -86,6 +86,9 @@ class Request:
     arrival_s: float
     #: closed-loop client index, or -1 for open-loop traffic
     client: int = -1
+    #: trace identity (``repro.obs.RequestContext``), set only when the
+    #: server runs with a tracer — ``None`` costs nothing
+    ctx: Optional[Any] = None
 
 
 @dataclass(eq=False)
@@ -102,6 +105,8 @@ class Response:
     #: with at least one other request
     lane_packed: bool
     fallback_reason: Optional[str] = None
+    #: the serving replica that executed the batch, as ``name[index]``
+    machine: str = ""
 
     @property
     def latency_s(self) -> float:

@@ -31,8 +31,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..backend import resolve_backend
 from ..core.ir import Program
-from ..runtime.executor import (ExecOptions, RunCapture, Simulator,
-                                capture_run)
+from ..obs.spans import RequestContext, RequestTimeline
+from ..runtime.executor import (ExecOptions, RunCapture, SimResult,
+                                Simulator, capture_run)
 from ..runtime.machine import (DMLL_CPP, ClusterSpec, MACHINE_MODELS,
                                SystemProfile)
 from .batching import (AdmissionQueue, Payload, Request, Response,
@@ -171,7 +172,8 @@ class ProgramServer:
                  backend: Optional[str] = None,
                  metrics: Optional[Any] = None,
                  tracer: Optional[Any] = None,
-                 cache: Optional[ProgramCache] = None):
+                 cache: Optional[ProgramCache] = None,
+                 trace_seed: int = 0):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_s < 0:
@@ -184,6 +186,9 @@ class ProgramServer:
         self.backend = resolve_backend(backend)
         self.metrics = metrics
         self.tracer = tracer
+        #: request trace ids derive from this seed (the traffic seed, so
+        #: same-seed runs export byte-identical traces)
+        self.trace_seed = trace_seed
         self.cache = cache or ProgramCache(
             {n: a.factory for n, a in self.apps.items()}, metrics=metrics)
         self.queue = AdmissionQueue()
@@ -197,10 +202,17 @@ class ProgramServer:
         self._rid = 0
         self._bid = 0
         self._root = None
+        # request-level tracing state — populated only while a tracer is
+        # attached and enabled; the untraced path never touches it
+        self._tracing = tracer is not None and tracer.enabled
+        self._timelines: Dict[int, RequestTimeline] = {}
         # host-side memos: one functional execution per distinct
         # (app, variant, payload, backend); one pricing per machine model
         self._captures: Dict[Tuple[str, str, str, str], RunCapture] = {}
         self._service: Dict[Tuple[str, str, str, str, str], float] = {}
+        #: pricing detail kept alongside ``_service`` for span grafting
+        #: (tracing only; empty on plain runs)
+        self._sims: Dict[Tuple[str, str, str, str, str], SimResult] = {}
         self._payloads: Dict[Tuple[str, Optional[str]], Payload] = {}
 
     # -- request admission ----------------------------------------------
@@ -223,6 +235,11 @@ class ProgramServer:
         req = Request(self._rid, app, payload or self.payload_for(app),
                       at, client)
         self._rid += 1
+        if self._tracing:
+            req.ctx = RequestContext.derive(self.trace_seed, req.rid)
+            tl = RequestTimeline(req.ctx)
+            tl.mark("arrive", at)
+            self._timelines[req.rid] = tl
         self._push(at, "arrive", req)
         return req
 
@@ -246,6 +263,8 @@ class ProgramServer:
             self.now = t
             if kind == "arrive":
                 self.queue.push(data)
+                if self._tracing:
+                    self._timelines[data.rid].mark("enqueue", t)
                 if self.metrics is not None:
                     self.metrics.inc("serve.requests", app=data.app)
                 # the group must dispatch no later than this request's
@@ -272,9 +291,48 @@ class ProgramServer:
             self._root.dur_s = makespan
             self._root.set(requests=len(self.responses),
                            batches=self._bid, makespan_s=makespan)
+            self._emit_request_spans()
         if self.metrics is not None:
             self.metrics.gauge("serve.makespan_s", makespan)
         return self.responses
+
+    def _emit_request_spans(self) -> None:
+        """Per-request lifecycle spans (arrive → complete) with queue and
+        exec children, linked to the batch execution that served each
+        request via ``batch_id`` (the exporter turns that into flow
+        arrows). Called once after the event loop drains."""
+        for resp in sorted(self.responses, key=lambda r: r.request.rid):
+            req = resp.request
+            ctx = req.ctx
+            tl = self._timelines.get(req.rid)
+            if ctx is None or tl is None:
+                continue
+            t0 = tl.get("arrive")
+            t_end = tl.get("complete")
+            if t0 is None or t_end is None:
+                continue
+            attrs = {f"{stage}_s": t for stage, t in tl.ordered()}
+            rsp = self._root.child(
+                f"r{req.rid}:{req.app}", "request", t0, t_end - t0,
+                rid=req.rid, app=req.app, trace_id=ctx.trace_id,
+                span_id=ctx.span_id, flow_id=ctx.flow_id,
+                batch_id=resp.batch_id, batch_size=resp.batch_size,
+                lane_packed=resp.lane_packed, machine=resp.machine,
+                backend=resp.backend, fallback=resp.fallback_reason,
+                latency_s=resp.latency_s, **attrs)
+            t_q0 = tl.get("enqueue")
+            t_disp = tl.get("dispatch")
+            if t_q0 is not None and t_disp is not None:
+                rsp.child("queued", "queue", t_q0, t_disp - t_q0,
+                          rid=req.rid)
+            t_x0 = tl.get("exec_start")
+            if t_x0 is not None:
+                rsp.child("exec", "exec", t_x0, t_end - t_x0,
+                          rid=req.rid, batch_id=resp.batch_id)
+
+    def timeline_of(self, rid: int) -> Optional[RequestTimeline]:
+        """The recorded lifecycle timeline for a request (tracing only)."""
+        return self._timelines.get(rid)
 
     def _dispatch(self, now: float) -> None:
         while True:
@@ -285,7 +343,13 @@ class ProgramServer:
             if key is None:
                 return
             requests = self.queue.take(key, self.max_batch)
+            if self._tracing:
+                for r in requests:
+                    self._timelines[r.rid].mark("seal", now)
             machine = self.policy.place(self, idle, requests, now)
+            if self._tracing:
+                for r in requests:
+                    self._timelines[r.rid].mark("dispatch", now)
             self._execute_batch(machine, requests, now)
 
     # -- execution --------------------------------------------------------
@@ -297,8 +361,16 @@ class ProgramServer:
         if cap is None:
             entry = self.cache.get(app, variant)
             cap = capture_run(entry.compiled, payload.inputs,
-                              backend=self.backend)
+                              backend=self.backend,
+                              profile_host=self.metrics is not None)
             self._captures[ckey] = cap
+            if self.metrics is not None:
+                # host wall-clock of the one real execution behind this
+                # capture — calibration data for the cost model, kept in
+                # metrics (not spans) so traces stay seed-deterministic
+                for lname, secs in sorted(cap.host_loop_s.items()):
+                    self.metrics.observe("serve.capture_host_s", secs,
+                                         app=app, loop=lname)
         return cap
 
     def _price(self, machine: MachineInstance, app: str,
@@ -313,9 +385,14 @@ class ProgramServer:
                                data_scale=served.data_scale,
                                use_gpu=machine.use_gpu,
                                gpu_transposed=machine.use_gpu)
-            svc = Simulator(entry.compiled, machine.cluster, machine.profile,
-                            opts).price(cap).total_seconds
+            sim = Simulator(entry.compiled, machine.cluster, machine.profile,
+                            opts).price(cap)
+            svc = sim.total_seconds
             self._service[skey] = svc
+            if self._tracing:
+                # keep the per-loop pricing detail so batch spans can
+                # graft loop children (see ``_execute_batch``)
+                self._sims[skey] = sim
         return svc
 
     def predict_service(self, machine: MachineInstance, app: str,
@@ -356,14 +433,21 @@ class ProgramServer:
             fallback_reason = (f"backend={self.backend!r} has no lane "
                                f"axis; per-request reference execution")
 
+        mname = f"{machine.name}[{machine.index}]"
         if fallback_reason is None:
             # lane-packed path: ONE execution serves every request in
             # the group — its lanes are the batch
             svc = self._price(machine, app, cap, payload)
             finish = now + svc
             responses = [Response(r, cap.results, cap.stats, cap.backend,
-                                  bid, n, now, finish, lane_packed=n > 1)
+                                  bid, n, now, finish, lane_packed=n > 1,
+                                  machine=mname)
                          for r in requests]
+            if self._tracing:
+                for r in requests:
+                    tl = self._timelines[r.rid]
+                    tl.mark("exec_start", now)
+                    tl.mark("complete", finish)
             if self.metrics is not None and n > 1:
                 self.metrics.inc("serve.lane_packed_requests", n, app=app)
         else:
@@ -373,8 +457,16 @@ class ProgramServer:
             responses = [Response(r, cap.results, cap.stats, cap.backend,
                                   bid, n, now, now + single * (i + 1),
                                   lane_packed=False,
-                                  fallback_reason=fallback_reason)
+                                  fallback_reason=fallback_reason,
+                                  machine=mname)
                          for i, r in enumerate(requests)]
+            if self._tracing:
+                # fallback executions run back-to-back, so each request's
+                # exec window is its own slot in the serialized batch
+                for i, r in enumerate(requests):
+                    tl = self._timelines[r.rid]
+                    tl.mark("exec_start", now + single * i)
+                    tl.mark("complete", now + single * (i + 1))
             finish = now + svc
             self.fallbacks.append(ServeFallback(app, fallback_reason, n))
             if self.metrics is not None:
@@ -389,10 +481,28 @@ class ProgramServer:
             self.metrics.observe("serve.service_s", svc,
                                  machine=machine.name)
         if self._root is not None:
-            self._root.child(
+            bsp = self._root.child(
                 f"b{bid}:{app}x{n}", "batch", now, svc,
-                machine=machine.index, app=app, batch=n,
+                machine=machine.index, app=app, batch=n, batch_id=bid,
                 lane_packed=fallback_reason is None and n > 1,
                 backend=cap.backend, service_s=svc,
                 fallback=fallback_reason)
+            skey = (machine.name, app, machine.variant, payload.key,
+                    cap.backend)
+            sim = self._sims.get(skey)
+            if sim is not None and fallback_reason is None:
+                # graft the priced per-loop breakdown under the batch
+                # span, pinned to the *serving* replica's track (the
+                # memoized pricing carries its own machine indices,
+                # which would land the loops on the wrong row)
+                cursor = now
+                for loop in sim.loops:
+                    bsp.child(loop.name, "loop", cursor, loop.time_s,
+                              machine=machine.index, op=loop.op_name,
+                              iters=loop.iters, workers=loop.workers,
+                              compute_s=loop.compute_s,
+                              memory_s=loop.memory_s,
+                              comm_s=loop.comm_s,
+                              overhead_s=loop.overhead_s)
+                    cursor += loop.time_s
         self._push(finish, "complete", (machine, responses))

@@ -35,6 +35,22 @@ def quantile(sorted_vals: Sequence[float], q: float) -> float:
     return sorted_vals[i]
 
 
+def latency_breakdown(groups: Dict[str, List[float]]
+                      ) -> Dict[str, Dict[str, Any]]:
+    """Per-group latency summary (count/mean/p50/p95/p99), sorted keys."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(groups):
+        vals = sorted(groups[name])
+        out[name] = {
+            "count": len(vals),
+            "mean_s": (sum(vals) / len(vals)) if vals else 0.0,
+            "p50_s": quantile(vals, 0.50),
+            "p95_s": quantile(vals, 0.95),
+            "p99_s": quantile(vals, 0.99),
+        }
+    return out
+
+
 class OpenLoop:
     """Poisson arrivals at ``rate_rps``, app and tenant picked per
     request from the seeded RNG."""
@@ -121,6 +137,14 @@ class ServeReport:
     cache: Dict[str, int]
     machine_util: Dict[str, float]
     latencies_s: List[float] = field(default_factory=list)
+    #: per-app / per-serving-replica latency summaries (count, mean,
+    #: p50/p95/p99) — top-level keys above stay unchanged
+    latency_by_app: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    latency_by_machine: Dict[str, Dict[str, Any]] = \
+        field(default_factory=dict)
+    #: SLO evaluation (``repro.obs.slo.SLOReport.to_json()``), attached
+    #: by the CLI when a spec is supplied
+    slo: Optional[Dict[str, Any]] = None
 
     def render(self) -> str:
         from ..report.tables import render_table
@@ -140,14 +164,24 @@ class ServeReport:
         ]
         for name, util in sorted(self.machine_util.items()):
             rows.append([f"util {name}", f"{util * 100.0:.1f}%"])
+        for app, st in sorted(self.latency_by_app.items()):
+            rows.append([f"latency p95 [{app}]",
+                         f"{st['p95_s'] * 1e3:.3f} ms "
+                         f"({st['count']} reqs)"])
+        if self.slo is not None:
+            rows.append(["slo", "ok" if self.slo.get("status") == "ok"
+                         else "VIOLATED"])
         return render_table(["metric", "value"], rows,
                             title=f"serving simulation ({self.mode} loop)")
 
     def to_json(self) -> Dict[str, Any]:
-        doc = {k: v for k, v in self.__dict__.items() if k != "latencies_s"}
+        doc = {k: v for k, v in self.__dict__.items()
+               if k not in ("latencies_s", "slo")}
         # the CI latency-histogram artifact: bucketed counts over the
         # full latency range plus the raw quantiles above
         doc["latency_histogram"] = self.latency_histogram()
+        if self.slo is not None:
+            doc["slo"] = self.slo
         return doc
 
     def latency_histogram(self, buckets: int = 20) -> Dict[str, Any]:
@@ -186,28 +220,31 @@ class ServeSim:
                                   metrics=metrics)
         self.last_server: Optional[ProgramServer] = None
 
-    def _server(self) -> ProgramServer:
+    def _server(self, trace_seed: int = 0) -> ProgramServer:
         return ProgramServer(
             self.served, make_machines(self.machine_spec),
             max_batch=self.max_batch, max_wait_s=self.max_wait_s,
             policy=self.policy, backend=self.backend,
-            metrics=self.metrics, tracer=self.tracer, cache=self.cache)
+            metrics=self.metrics, tracer=self.tracer, cache=self.cache,
+            trace_seed=trace_seed)
 
     def run_open(self, rate_rps: float, requests: int,
                  seed: int = 0) -> ServeReport:
         source = OpenLoop(self.app_names, rate_rps, requests, seed=seed,
                           payloads=self.payloads)
-        return self._run("open", source)
+        return self._run("open", source, seed)
 
     def run_closed(self, clients: int, requests: int,
                    think_s: float = 0.0, seed: int = 0) -> ServeReport:
         source = ClosedLoop(self.app_names, clients, requests,
                             think_s=think_s, seed=seed,
                             payloads=self.payloads)
-        return self._run("closed", source)
+        return self._run("closed", source, seed)
 
-    def _run(self, mode: str, source: Any) -> ServeReport:
-        server = self._server()
+    def _run(self, mode: str, source: Any, seed: int = 0) -> ServeReport:
+        # the traffic seed doubles as the trace-identity seed so
+        # same-seed runs export byte-identical traces
+        server = self._server(trace_seed=seed)
         self.last_server = server
         responses = server.run(source)
         return self.report(mode, server, responses)
@@ -218,8 +255,12 @@ class ServeSim:
         lats = sorted(r.latency_s for r in responses)
         makespan = max((r.finish_s for r in responses), default=0.0)
         seen: Dict[int, int] = {}
+        by_app: Dict[str, List[float]] = {}
+        by_machine: Dict[str, List[float]] = {}
         for r in responses:
             seen[r.batch_id] = r.batch_size
+            by_app.setdefault(r.request.app, []).append(r.latency_s)
+            by_machine.setdefault(r.machine or "?", []).append(r.latency_s)
         batch_sizes = list(seen.values())
         return ServeReport(
             mode=mode,
@@ -241,4 +282,6 @@ class ServeSim:
                 f"{m.name}[{m.index}]":
                     (m.busy_s / makespan) if makespan else 0.0
                 for m in server.machines},
-            latencies_s=lats)
+            latencies_s=lats,
+            latency_by_app=latency_breakdown(by_app),
+            latency_by_machine=latency_breakdown(by_machine))

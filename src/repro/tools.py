@@ -20,6 +20,8 @@ Usage::
     python -m repro.tools serve-sim kmeans       # serving simulation
     python -m repro.tools serve-sim kmeans q1 --rate 200 --requests 64
     python -m repro.tools serve-sim kmeans --machines numa*2,gpunode
+    python -m repro.tools serve-sim kmeans --trace-out t.json --slo s.json
+    python -m repro.tools slo-report kmeans --spec examples/slo_serving.json
     python -m repro.tools --list
 
 Exit codes (repo-wide convention): 0 ok, 1 check failed, 2 bad usage.
@@ -80,7 +82,7 @@ def _run_observed(args) -> int:
         return EXIT_USAGE
     from .backend import resolve_backend_ex
     from .obs import (MetricsRegistry, Tracer, profile_report,
-                      write_chrome_trace)
+                      write_chrome_trace, write_collapsed, write_prometheus)
     from .runtime import DMLL_CPP, GPU_CLUSTER, NUMA_BOX, single_node
 
     try:
@@ -122,6 +124,12 @@ def _run_observed(args) -> int:
         write_chrome_trace(args.trace_out, tracer)
         print(f"wrote Chrome trace to {args.trace_out}; load it in "
               f"chrome://tracing or https://ui.perfetto.dev")
+    if args.flame_out:
+        write_collapsed(args.flame_out, tracer)
+        print(f"wrote flamegraph stacks to {args.flame_out}")
+    if args.metrics_out:
+        write_prometheus(args.metrics_out, metrics)
+        print(f"wrote Prometheus metrics to {args.metrics_out}")
     return 0
 
 
@@ -199,15 +207,8 @@ def explain_main(argv=None) -> int:
     return EXIT_OK
 
 
-def serve_main(argv=None) -> int:
-    """``repro.tools serve-sim <app> [...]``: run the serving simulator."""
-    ap = argparse.ArgumentParser(
-        prog="repro.tools serve-sim",
-        description="Simulate serving many concurrent invocations of "
-                    "cached compiled programs: seeded open- or "
-                    "closed-loop traffic, lane-packed batching on the "
-                    "NumPy backend, pluggable placement across machine "
-                    "models; reports throughput and p50/p95/p99 latency.")
+def _add_traffic_args(ap) -> None:
+    """Traffic/fleet flags shared by ``serve-sim`` and ``slo-report``."""
     ap.add_argument("apps", nargs="*",
                     help="served applications (need bundled datasets)")
     ap.add_argument("--requests", type=int, default=64,
@@ -242,11 +243,73 @@ def serve_main(argv=None) -> int:
                     default="numpy",
                     help="functional engine; only numpy lane-packs "
                          "(default %(default)s)")
+
+
+def _check_traffic_args(args, prog: str) -> int:
+    if not args.apps:
+        print(f"{prog} requires at least one application name",
+              file=sys.stderr)
+        return EXIT_USAGE
+    from .bench.apps import _FACTORIES
+    bad = [a for a in args.apps if a not in _FACTORIES]
+    if bad:
+        print(f"{prog} needs bundled datasets; unknown: "
+              f"{', '.join(bad)} (have: {', '.join(sorted(_FACTORIES))})",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if args.requests < 1 or args.batch < 1 or args.payloads < 1:
+        print("--requests/--batch/--payloads must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    return EXIT_OK
+
+
+def _run_traffic(args, metrics, tracer):
+    """Build a ``ServeSim`` from parsed traffic flags and run it.
+    Returns ``(sim, report)``; raises ``ValueError`` on bad specs."""
+    from .serve import ServeSim
+    sim = ServeSim(args.apps, machines=args.machines,
+                   max_batch=args.batch,
+                   max_wait_s=args.max_wait_ms / 1e3,
+                   policy=args.policy, backend=args.backend,
+                   payloads=args.payloads, metrics=metrics,
+                   tracer=tracer)
+    if args.rate is not None:
+        report = sim.run_open(args.rate, args.requests, seed=args.seed)
+    else:
+        report = sim.run_closed(args.clients, args.requests,
+                                think_s=args.think_ms / 1e3,
+                                seed=args.seed)
+    return sim, report
+
+
+def serve_main(argv=None) -> int:
+    """``repro.tools serve-sim <app> [...]``: run the serving simulator."""
+    ap = argparse.ArgumentParser(
+        prog="repro.tools serve-sim",
+        description="Simulate serving many concurrent invocations of "
+                    "cached compiled programs: seeded open- or "
+                    "closed-loop traffic, lane-packed batching on the "
+                    "NumPy backend, pluggable placement across machine "
+                    "models; reports throughput and p50/p95/p99 latency.")
+    _add_traffic_args(ap)
     ap.add_argument("--latency-out", metavar="FILE.json",
-                    help="write the latency histogram + quantiles JSON")
+                    help="write the latency histogram + quantiles JSON "
+                         "(with per-app and per-machine breakdowns)")
     ap.add_argument("--trace-out", metavar="FILE.json",
                     help="write a Chrome-trace (Perfetto) JSON of the "
-                         "serving run")
+                         "serving run, with per-request spans and "
+                         "request-to-batch flow arrows")
+    ap.add_argument("--flame-out", metavar="FILE.txt",
+                    help="write a collapsed-stack flamegraph "
+                         "(flamegraph.pl / speedscope format) of the "
+                         "serving span tree")
+    ap.add_argument("--metrics-out", metavar="FILE.prom",
+                    help="write the metrics registry in Prometheus/"
+                         "OpenMetrics text exposition format")
+    ap.add_argument("--slo", metavar="SPEC.json",
+                    help="evaluate an SLO spec over the run and attach "
+                         "the result to the report (informational; use "
+                         "slo-report to gate on it)")
     ap.add_argument("--metrics", action="store_true",
                     help="print the serving metrics registry")
     ap.add_argument("--json", action="store_true",
@@ -255,48 +318,41 @@ def serve_main(argv=None) -> int:
         args = ap.parse_args(argv)
     except SystemExit as e:
         return int(e.code or 0)
-    if not args.apps:
-        print("serve-sim requires at least one application name",
-              file=sys.stderr)
-        return EXIT_USAGE
-    from .bench.apps import _FACTORIES
-    bad = [a for a in args.apps if a not in _FACTORIES]
-    if bad:
-        print(f"serve-sim needs bundled datasets; unknown: "
-              f"{', '.join(bad)} (have: {', '.join(sorted(_FACTORIES))})",
-              file=sys.stderr)
-        return EXIT_USAGE
-    if args.requests < 1 or args.batch < 1 or args.payloads < 1:
-        print("--requests/--batch/--payloads must be >= 1", file=sys.stderr)
-        return EXIT_USAGE
+    rc = _check_traffic_args(args, "serve-sim")
+    if rc != EXIT_OK:
+        return rc
 
-    from .obs import MetricsRegistry, Tracer, write_chrome_trace
-    from .serve import ServeSim
+    from .obs import (MetricsRegistry, Tracer, evaluate_slo, write_chrome_trace,
+                      write_collapsed, write_prometheus)
+    from .obs.slo import SLOSpec
+    spec = None
+    if args.slo:
+        try:
+            spec = SLOSpec.load(args.slo)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load SLO spec {args.slo}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
     metrics = MetricsRegistry()
-    tracer = Tracer() if args.trace_out else None
+    tracer = Tracer() if (args.trace_out or args.flame_out) else None
     try:
-        sim = ServeSim(args.apps, machines=args.machines,
-                       max_batch=args.batch,
-                       max_wait_s=args.max_wait_ms / 1e3,
-                       policy=args.policy, backend=args.backend,
-                       payloads=args.payloads, metrics=metrics,
-                       tracer=tracer)
-        if args.rate is not None:
-            report = sim.run_open(args.rate, args.requests, seed=args.seed)
-        else:
-            report = sim.run_closed(args.clients, args.requests,
-                                    think_s=args.think_ms / 1e3,
-                                    seed=args.seed)
+        sim, report = _run_traffic(args, metrics, tracer)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
+    slo_report = None
+    if spec is not None:
+        slo_report = evaluate_slo(spec, sim.last_server.responses)
+        report.slo = slo_report.to_json()
     if args.json:
         print(_json.dumps(report.to_json(), indent=2, default=str))
     else:
         print(report.render())
         for fb in sim.last_server.fallbacks:
             print(f"  fallback {fb.app} x{fb.requests}: {fb.reason}")
+        if slo_report is not None:
+            print(slo_report.render())
     if args.metrics:
         print(metrics.render())
     if args.latency_out:
@@ -307,6 +363,68 @@ def serve_main(argv=None) -> int:
     if args.trace_out:
         write_chrome_trace(args.trace_out, tracer)
         print(f"wrote Chrome trace to {args.trace_out}")
+    if args.flame_out:
+        write_collapsed(args.flame_out, tracer)
+        print(f"wrote flamegraph stacks to {args.flame_out}")
+    if args.metrics_out:
+        write_prometheus(args.metrics_out, metrics)
+        print(f"wrote Prometheus metrics to {args.metrics_out}")
+    return EXIT_OK
+
+
+def slo_main(argv=None) -> int:
+    """``repro.tools slo-report <app> --spec SPEC``: evaluate SLOs over a
+    simulated serving run; exit 1 when any objective's error budget is
+    exhausted (the CI gate)."""
+    ap = argparse.ArgumentParser(
+        prog="repro.tools slo-report",
+        description="Run the serving simulator and score the responses "
+                    "against a declarative SLO spec: latency-percentile "
+                    "and availability objectives, error-budget "
+                    "consumption, and sliding-window burn rates over "
+                    "the simulated timeline.")
+    _add_traffic_args(ap)
+    ap.add_argument("--spec", required=True, metavar="SPEC.json",
+                    help="SLO spec file (see examples/slo_serving.json)")
+    ap.add_argument("--out", metavar="FILE.json",
+                    help="write the evaluation as JSON")
+    ap.add_argument("--json", action="store_true",
+                    help="print the evaluation as JSON instead of a table")
+    try:
+        args = ap.parse_args(argv)
+    except SystemExit as e:
+        return int(e.code or 0)
+    rc = _check_traffic_args(args, "slo-report")
+    if rc != EXIT_OK:
+        return rc
+
+    from .obs import evaluate_slo
+    from .obs.slo import SLOSpec
+    try:
+        spec = SLOSpec.load(args.spec)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load SLO spec {args.spec}: {exc}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        sim, _report = _run_traffic(args, None, None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    result = evaluate_slo(spec, sim.last_server.responses)
+    if args.json:
+        print(_json.dumps(result.to_json(), indent=2, default=str))
+    else:
+        print(result.render())
+    if args.out:
+        with open(args.out, "w") as fh:
+            _json.dump(result.to_json(), fh, indent=1, default=str)
+            fh.write("\n")
+        print(f"wrote SLO report to {args.out}")
+    if not result.ok:
+        print("SLO VIOLATED: error budget exhausted", file=sys.stderr)
+        return EXIT_FAIL
     return EXIT_OK
 
 
@@ -316,6 +434,8 @@ def main(argv=None) -> int:
         return explain_main(argv[1:])
     if argv and argv[0] == "serve-sim":
         return serve_main(argv[1:])
+    if argv and argv[0] == "slo-report":
+        return slo_main(argv[1:])
     ap = argparse.ArgumentParser(prog="repro.tools", description=__doc__)
     ap.add_argument("app", nargs="?", help="application name (see --list)")
     ap.add_argument("--list", action="store_true", help="list applications")
@@ -339,8 +459,14 @@ def main(argv=None) -> int:
     ap.add_argument("--trace-out", metavar="FILE.json",
                     help="write a Chrome-trace (Perfetto) JSON of the "
                          "simulated run")
+    ap.add_argument("--flame-out", metavar="FILE.txt",
+                    help="write a collapsed-stack flamegraph of the "
+                         "simulated run's span tree")
     ap.add_argument("--metrics", action="store_true",
                     help="print runtime metrics of the simulated run")
+    ap.add_argument("--metrics-out", metavar="FILE.prom",
+                    help="write runtime metrics in Prometheus/OpenMetrics "
+                         "text format")
     ap.add_argument("--backend", choices=("reference", "numpy"),
                     default=None,
                     help="functional execution engine for observed runs "
@@ -358,7 +484,7 @@ def main(argv=None) -> int:
         # silently dropping the requested action — that's bad usage
         acted = (args.report or args.trace or args.verify_each
                  or args.no_transforms or args.profile or args.trace_out
-                 or args.metrics)
+                 or args.metrics or args.flame_out or args.metrics_out)
         if acted:
             print("an application name is required with these flags; "
                   "see --list", file=sys.stderr)
@@ -369,7 +495,8 @@ def main(argv=None) -> int:
         print(f"unknown app {args.app!r}; use --list", file=sys.stderr)
         return EXIT_USAGE
 
-    observed = args.profile or args.trace_out or args.metrics
+    observed = (args.profile or args.trace_out or args.metrics
+                or args.flame_out or args.metrics_out)
     prog = _APPS[args.app]()
     if args.stage == "staged":
         # everything below needs a compiled program; --report used to be

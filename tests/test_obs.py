@@ -11,9 +11,11 @@ import pytest
 from repro import tools
 from repro.bench import get_bundle
 from repro.bench.apps import _FACTORIES
-from repro.obs import (DiagCategory, MetricsRegistry, Span, Tracer,
-                       chrome_trace_events, profile_report, render_spans,
-                       write_chrome_trace)
+from repro.obs import (DiagCategory, MetricsRegistry, RequestContext,
+                       RequestTimeline, Span, Tracer, chrome_trace_events,
+                       collapse_stacks, profile_report, prometheus_text,
+                       render_collapsed, render_spans, write_chrome_trace,
+                       write_collapsed, write_prometheus)
 from repro.obs.check import validate_events, validate_file
 from repro.runtime import set_metrics, set_reader_location
 from repro.runtime.distarray import PartitionedArray
@@ -161,6 +163,144 @@ class TestChromeTrace:
 
 
 # ---------------------------------------------------------------------------
+# flow events (request -> batch arrows)
+# ---------------------------------------------------------------------------
+
+def _slice(name, pid, tid, ts, dur, cat="x"):
+    return {"name": name, "cat": cat, "ph": "X", "pid": pid, "tid": tid,
+            "ts": ts, "dur": dur}
+
+
+class TestFlowValidation:
+    BASE = [_slice("run", 1, 0, 0.0, 100.0, cat="run"),
+            _slice("b0", 1, 1, 10.0, 20.0),
+            _slice("r0", 2, 0, 0.0, 30.0)]
+
+    def test_valid_flow_passes(self):
+        events = self.BASE + [
+            {"name": "req", "cat": "flow", "ph": "s", "id": 7,
+             "pid": 2, "tid": 0, "ts": 10.0},
+            {"name": "req", "cat": "flow", "ph": "f", "bp": "e", "id": 7,
+             "pid": 1, "tid": 1, "ts": 10.0}]
+        assert validate_events(events) == []
+
+    def test_unpaired_flow_rejected(self):
+        events = self.BASE + [
+            {"name": "req", "cat": "flow", "ph": "s", "id": 7,
+             "pid": 2, "tid": 0, "ts": 10.0}]
+        errs = validate_events(events)
+        assert any("one start and one finish" in e for e in errs)
+
+    def test_backwards_flow_rejected(self):
+        events = self.BASE + [
+            {"name": "req", "cat": "flow", "ph": "s", "id": 7,
+             "pid": 2, "tid": 0, "ts": 25.0},
+            {"name": "req", "cat": "flow", "ph": "f", "bp": "e", "id": 7,
+             "pid": 1, "tid": 1, "ts": 10.0}]
+        errs = validate_events(events)
+        assert any("precedes start" in e for e in errs)
+
+    def test_dangling_endpoint_rejected(self):
+        # finish endpoint on a track with no enclosing slice — the viewer
+        # would silently drop the arrow, so the validator must not
+        events = self.BASE + [
+            {"name": "req", "cat": "flow", "ph": "s", "id": 7,
+             "pid": 2, "tid": 0, "ts": 10.0},
+            {"name": "req", "cat": "flow", "ph": "f", "bp": "e", "id": 7,
+             "pid": 1, "tid": 9, "ts": 10.0}]
+        errs = validate_events(events)
+        assert any("no enclosing slice" in e for e in errs)
+
+    def test_name_mismatch_rejected(self):
+        events = self.BASE + [
+            {"name": "req", "cat": "flow", "ph": "s", "id": 7,
+             "pid": 2, "tid": 0, "ts": 10.0},
+            {"name": "other", "cat": "flow", "ph": "f", "bp": "e", "id": 7,
+             "pid": 1, "tid": 1, "ts": 10.0}]
+        errs = validate_events(events)
+        assert any("mismatch" in e for e in errs)
+
+
+# ---------------------------------------------------------------------------
+# request identity
+# ---------------------------------------------------------------------------
+
+class TestRequestContext:
+    def test_deterministic_derivation(self):
+        a = RequestContext.derive(3, 7)
+        b = RequestContext.derive(3, 7)
+        assert a == b
+        assert len(a.trace_id) == 32 and len(a.span_id) == 16
+        int(a.trace_id, 16), int(a.span_id, 16)  # hex
+        assert a.flow_id >= 0
+        assert RequestContext.derive(3, 8) != a
+        assert RequestContext.derive(4, 7) != a
+
+    def test_timeline_lifecycle_order(self):
+        tl = RequestTimeline(RequestContext.derive(0, 0))
+        tl.mark("complete", 5.0)
+        tl.mark("arrive", 1.0)
+        tl.mark("dispatch", 3.0)
+        assert [s for s, _ in tl.ordered()] == \
+            ["arrive", "dispatch", "complete"]
+        with pytest.raises(ValueError):
+            tl.mark("nope", 0.0)
+
+
+# ---------------------------------------------------------------------------
+# profiling exports: flamegraphs and Prometheus text
+# ---------------------------------------------------------------------------
+
+class TestProfileExports:
+    def test_collapse_stacks_self_time(self):
+        root = Span("run", "run", 0.0, 10.0)
+        loop = root.child("loopA", "loop", 0.0, 6.0)
+        loop.child("m0", "machine", 0.0, 4.0)
+        stacks = collapse_stacks(root)
+        # self time = dur - children dur, in integer microseconds
+        assert stacks["run"] == 4_000_000
+        assert stacks["run;loopA"] == 2_000_000
+        assert stacks["run;loopA;m0"] == 4_000_000
+
+    def test_collapsed_render_and_write(self, tmp_path):
+        _, root = traced("kmeans")
+        text = render_collapsed(root)
+        lines = text.strip().splitlines()
+        assert lines == sorted(lines)
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0 and stack
+        p = tmp_path / "flame.txt"
+        write_collapsed(str(p), root)
+        assert p.read_text() == text + "\n"
+
+    def test_semicolons_in_frames_escaped(self):
+        root = Span("a;b", "run", 0.0, 1.0)
+        assert list(collapse_stacks(root)) == ["a,b"]
+
+    def test_prometheus_text(self, tmp_path):
+        m = MetricsRegistry()
+        m.inc("serve.requests", 3.0, app="kmeans")
+        m.gauge("serve.makespan_s", 0.5)
+        m.observe("serve.latency_s", 0.1)
+        m.observe("serve.latency_s", 0.3)
+        text = prometheus_text(m)
+        assert '# TYPE serve_requests counter' in text
+        assert 'serve_requests{app="kmeans"} 3' in text
+        assert "serve_makespan_s 0.5" in text
+        assert 'serve_latency_s{quantile="0.99"}' in text
+        assert "serve_latency_s_count 2" in text
+        assert "serve_latency_s_sum" in text
+        assert text.endswith("# EOF\n")
+        p = tmp_path / "m.prom"
+        write_prometheus(str(p), m)
+        assert p.read_text() == text
+
+    def test_prometheus_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()).endswith("# EOF\n")
+
+
+# ---------------------------------------------------------------------------
 # metrics
 # ---------------------------------------------------------------------------
 
@@ -178,13 +318,24 @@ class TestMetrics:
         assert m.histogram_stats("h") == {"count": 2, "min": 1.0, "max": 3.0,
                                           "mean": 2.0, "p50": 3.0,
                                           "p90": 3.0, "p95": 3.0, "p99": 3.0}
-        assert m.histogram_stats("absent") == {"count": 0}
+        # empty histograms still expose the full key set (satellite fix:
+        # consumers can index p99 without guarding on count)
+        assert m.histogram_stats("absent") == {
+            "count": 0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "p50": 0.0, "p90": 0.0, "p95": 0.0, "p99": 0.0}
         snap = m.snapshot()
         assert snap["counters"]["a{loop=x}"] == 5.0
         text = m.render()
         assert "counters:" in text and "a{loop=x}" in text
         m.clear()
         assert m.render() == "(no metrics recorded)"
+
+    def test_single_sample_histogram_well_defined(self):
+        m = MetricsRegistry()
+        m.observe("h", 2.5)
+        st = m.histogram_stats("h")
+        assert st == {"count": 1, "min": 2.5, "max": 2.5, "mean": 2.5,
+                      "p50": 2.5, "p90": 2.5, "p95": 2.5, "p99": 2.5}
 
     def test_histogram_tail_percentiles_nearest_rank(self):
         m = MetricsRegistry()

@@ -343,6 +343,125 @@ class TestServeSim:
         write_chrome_trace(str(path), tr.last_run)
         assert validate_file(str(path)) == []
 
+    def test_latency_breakdowns(self):
+        sim = ServeSim(["kmeans", "q1"], machines="numa*2",
+                       backend="numpy", max_batch=2)
+        rep = sim.run_open(rate_rps=400, requests=12, seed=5)
+        assert set(rep.latency_by_app) == {"kmeans", "q1"}
+        assert sum(st["count"] for st in rep.latency_by_app.values()) == 12
+        assert sum(st["count"]
+                   for st in rep.latency_by_machine.values()) == 12
+        for st in rep.latency_by_app.values():
+            assert st["p50_s"] <= st["p95_s"] <= st["p99_s"]
+        doc = rep.to_json()
+        # existing top-level keys stay stable; breakdowns are additive
+        for key in ("requests", "batches", "makespan_s", "throughput_rps",
+                    "latency_p99_s", "latency_histogram"):
+            assert key in doc
+        assert set(doc["latency_by_machine"]) <= {"numa[0]", "numa[1]"}
+
+    def test_responses_name_their_machine(self):
+        sim = ServeSim(["q1"], machines="numa*2", backend="numpy")
+        sim.run_open(rate_rps=500, requests=8, seed=2)
+        for r in sim.last_server.responses:
+            assert r.machine in ("numa[0]", "numa[1]")
+
+
+# ---------------------------------------------------------------------------
+# request tracing: deterministic per-request spans and flow links
+# ---------------------------------------------------------------------------
+
+class TestServeTracing:
+    def traced_run(self, seed=4, requests=16):
+        tr = Tracer()
+        sim = ServeSim(["kmeans"], machines="numa*2", backend="numpy",
+                       max_batch=4, tracer=tr)
+        rep = sim.run_open(rate_rps=400, requests=requests, seed=seed)
+        return tr, sim, rep
+
+    def test_same_seed_byte_identical_trace(self):
+        from repro.obs import chrome_trace_events
+        a = chrome_trace_events(self.traced_run()[0])
+        b = chrome_trace_events(self.traced_run()[0])
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_tracer_off_results_identical(self):
+        def outcome(tracer):
+            sim = ServeSim(["kmeans"], machines="numa*2", backend="numpy",
+                           max_batch=4, tracer=tracer)
+            sim.run_open(rate_rps=400, requests=16, seed=4)
+            return [(r.request.rid, r.start_s, r.finish_s, r.batch_id,
+                     r.batch_size, r.machine, r.lane_packed, r.backend)
+                    for r in sim.last_server.responses]
+        assert outcome(None) == outcome(Tracer())
+
+    def test_request_spans_and_flow_links(self, tmp_path):
+        from repro.obs import write_chrome_trace
+        tr, sim, rep = self.traced_run()
+        path = tmp_path / "serve.json"
+        write_chrome_trace(str(path), tr)
+        assert validate_file(str(path)) == []
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        reqs = [e for e in events if e.get("cat") == "request"]
+        assert len(reqs) == rep.requests
+        # every request span names its trace identity and served batch
+        batch_ids = {e["args"]["batch_id"] for e in events
+                     if e.get("cat") == "batch"}
+        for e in reqs:
+            assert e["pid"] == 2 and e["tid"] == e["args"]["rid"]
+            assert len(e["args"]["trace_id"]) == 32
+            assert len(e["args"]["span_id"]) == 16
+            assert e["args"]["batch_id"] in batch_ids
+        # N requests -> one flow start each, finishing on a batch slice
+        starts = [e for e in events if e.get("ph") == "s"]
+        ends = [e for e in events if e.get("ph") == "f"]
+        assert len(starts) == rep.requests == len(ends)
+        assert {e["id"] for e in starts} == {e["args"]["flow_id"]
+                                             for e in reqs}
+
+    def test_timeline_lifecycle_monotonic(self):
+        tr, sim, rep = self.traced_run()
+        server = sim.last_server
+        for r in server.responses:
+            tl = server.timeline_of(r.request.rid)
+            marks = dict(tl.ordered())
+            assert (marks["arrive"] <= marks["enqueue"] <= marks["seal"]
+                    <= marks["dispatch"] <= marks["exec_start"]
+                    <= marks["complete"])
+            assert marks["arrive"] == r.request.arrival_s
+            assert marks["complete"] == r.finish_s
+
+    def test_request_ctx_matches_derivation(self):
+        from repro.obs import RequestContext
+        tr, sim, rep = self.traced_run(seed=9)
+        for r in sim.last_server.responses:
+            assert r.request.ctx == RequestContext.derive(9, r.request.rid)
+
+    def test_batch_spans_carry_loop_children(self):
+        tr, sim, rep = self.traced_run()
+        batches = [sp for sp, _ in tr.last_run.walk() if sp.kind == "batch"]
+        assert batches
+        lane_packed = [b for b in batches if b.attrs.get("lane_packed")
+                       or b.attrs.get("fallback") is None]
+        assert lane_packed
+        for b in lane_packed:
+            loops = [c for c in b.children if c.kind == "loop"]
+            assert loops
+            # loops tile the batch span on the serving machine's track
+            cursor = b.start_s
+            for sp in loops:
+                assert sp.start_s == pytest.approx(cursor, abs=1e-9)
+                assert sp.attrs["machine"] == b.attrs["machine"]
+                cursor = sp.end_s
+
+    def test_untraced_server_allocates_no_request_state(self):
+        sim = ServeSim(["q1"], backend="numpy")
+        sim.run_closed(clients=2, requests=6, seed=0)
+        server = sim.last_server
+        assert server._timelines == {} and server._sims == {}
+        assert all(r.request.ctx is None for r in server.responses)
+
 
 # ---------------------------------------------------------------------------
 # the serve-sim CLI
@@ -374,6 +493,34 @@ class TestServeCLI:
                              "--clients", "2", "--json")
         assert code == 0
         assert json.loads(out)["requests"] == 4
+
+    def test_observability_outputs(self, tmp_path):
+        flame = tmp_path / "flame.txt"
+        prom = tmp_path / "metrics.prom"
+        code, out = self.run("serve-sim", "q1", "--requests", "6",
+                             "--clients", "2", "--seed", "1",
+                             "--flame-out", str(flame),
+                             "--metrics-out", str(prom),
+                             "--slo", "examples/slo_serving.json")
+        assert code == 0
+        assert "SLO report" in out and "VIOLATED" not in out
+        lines = flame.read_text().strip().splitlines()
+        assert lines and all(int(l.rsplit(" ", 1)[1]) > 0 for l in lines)
+        text = prom.read_text()
+        assert "# TYPE serve_requests counter" in text
+        assert text.endswith("# EOF\n")
+
+    def test_slo_attached_to_latency_json(self, tmp_path):
+        lat = tmp_path / "lat.json"
+        code, _ = self.run("serve-sim", "q1", "--requests", "6",
+                           "--clients", "2",
+                           "--slo", "examples/slo_serving.json",
+                           "--latency-out", str(lat))
+        assert code == 0
+        doc = json.loads(lat.read_text())
+        assert doc["slo"]["status"] == "ok"
+        assert {o["name"] for o in doc["slo"]["objectives"]} == \
+            {"latency-p99", "availability"}
 
     def test_usage_errors(self):
         assert self.run("serve-sim")[0] == 2
