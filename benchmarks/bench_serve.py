@@ -67,9 +67,11 @@ def measure_app(app: str) -> dict:
     assert deep_eq(responses[0].results, seq_results)
     assert responses[0].stats.total_cycles == seq_stats.total_cycles
 
-    # seeded closed-loop latency profile on the shared cache
+    # seeded closed-loop latency profile on the shared cache; traced so
+    # the report carries the exact per-request latency decomposition
+    from repro.obs import Tracer
     sim = ServeSim([app], machines="numa", max_batch=BATCH,
-                   max_wait_s=0.02, backend="numpy")
+                   max_wait_s=0.02, backend="numpy", tracer=Tracer())
     sim.cache = cache
     report = sim.run_closed(clients=BATCH, requests=4 * BATCH, seed=0)
 
@@ -89,6 +91,12 @@ def measure_app(app: str) -> dict:
         # so a latency shift can be localized without re-running
         "sim_latency_by_app": report.latency_by_app,
         "sim_latency_by_machine": report.latency_by_machine,
+        "sim_machine_util": report.machine_util,
+        "sim_decomposition_mean_s": (
+            {c: report.decomposition["components"][c]["mean_s"]
+             for c in ("admission_s", "batch_window_s", "dispatch_s",
+                       "stagger_s", "execution_s", "latency_s")}
+            if report.decomposition else None),
     }
 
 
@@ -111,7 +119,10 @@ def test_serve_batching(benchmark):
                    "speedup": s["speedup"],
                    "sim_throughput_rps": s["sim_throughput_rps"],
                    "sim_p50_s": s["sim_p50_s"],
-                   "sim_p99_s": s["sim_p99_s"]}))
+                   "sim_p99_s": s["sim_p99_s"],
+                   "sim_machine_util": s["sim_machine_util"],
+                   "sim_decomposition_mean_s":
+                       s["sim_decomposition_mean_s"]}))
     emit("serve", render_table(
         ["app", f"{BATCH} single ms", "batched ms", "speedup",
          "sim req/s", "sim p99 ms"], rows,

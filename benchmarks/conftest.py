@@ -162,20 +162,38 @@ def profile_loops(compiled, inputs, backend: str) -> list:
 
 def record_history(app: str, summary: dict, sim=None) -> None:
     """Append one observatory record for ``app`` from a
-    ``measure_backends`` summary (see ``repro.obs.history``)."""
+    ``measure_backends`` summary (see ``repro.obs.history``).
+
+    Besides the headline gate metrics the record carries the inputs the
+    root-cause analyzer (``repro.obs.analyze``) diffs when a gate
+    fails: the per-loop pricing breakdown (id-stripped keys so two
+    processes' records align) and the compile's normalized
+    decision-ledger keys (so digest drift can be resolved to the exact
+    decisions that changed)."""
     from repro.bench import get_bundle
     from repro.obs.history import RunRecord, append_record, git_sha
+    from repro.obs.provenance import strip_ids
+    from repro.runtime import NUMA_BOX
     bundle = get_bundle(app)
     if sim is None:
         sim = bundle.simulate("opt", backend="numpy")
     led = bundle.compiled("opt").provenance
+    per_loop = [{"loop": ls.name, "key": strip_ids(ls.name),
+                 "op": ls.op_name, "workers": ls.workers,
+                 "time_s": ls.time_s, "compute_s": ls.compute_s,
+                 "memory_s": ls.memory_s, "comm_s": ls.comm_s,
+                 "overhead_s": ls.overhead_s} for ls in sim.loops]
     append_record(RunRecord(
         app=app, backend="numpy", git_sha=git_sha(),
         wall_s=summary["numpy_s"], sim_s=sim.total_seconds,
         cycles=summary["cycles"], fallbacks=len(summary["fallbacks"]),
         digest=led.digest() if led is not None else "",
         extra={"reference_s": summary["reference_s"],
-               "speedup": summary["speedup"]}))
+               "speedup": summary["speedup"],
+               "cluster": NUMA_BOX.name,
+               "per_loop": per_loop,
+               "decisions": (led.normalized_keys()
+                             if led is not None else [])}))
 
 
 def write_bench_backend(summary: dict) -> None:

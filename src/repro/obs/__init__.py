@@ -10,12 +10,22 @@ Three cooperating pieces make the simulated runtime inspectable:
 - **diagnostics** — typed, loop-attributed events that replace the bare
   warning strings the partitioning analysis used to emit;
 - **export** — a text profile report and Chrome-trace JSON
-  (``chrome://tracing`` / Perfetto), validated by ``repro.obs.check``.
+  (``chrome://tracing`` / Perfetto), validated by ``repro.obs.check``;
+- **analytics** — critical-path extraction, exact per-request latency
+  decomposition, differential trace diff and regression root-cause
+  reports (``repro.obs.critical`` / ``repro.obs.analyze``), surfaced
+  through ``repro.tools analyze`` and the regress gate.
 
 Everything is opt-in: with no tracer/registry configured the executor
 allocates no spans and emits nothing.
 """
 
+from .analyze import (LoopDelta, RootCause, decompose_timeline,
+                      decomposition_summary, diff_loop_rows,
+                      diff_span_trees, request_decomposition,
+                      root_cause_from_records)
+from .critical import (CriticalPath, FleetReport, PathStep, critical_path,
+                       fleet_attribution)
 from .diagnostics import DiagCategory, Diagnostic, Severity
 from .metrics import MetricsObserver, MetricsRegistry
 from .provenance import (Decision, DecisionKind, DecisionLedger,
@@ -29,6 +39,11 @@ from .slo import (BurnWindow, ObjectiveResult, SLOObjective, SLOReport,
                   SLOSpec, evaluate_slo)
 
 __all__ = [
+    "LoopDelta", "RootCause", "decompose_timeline",
+    "decomposition_summary", "diff_loop_rows", "diff_span_trees",
+    "request_decomposition", "root_cause_from_records",
+    "CriticalPath", "FleetReport", "PathStep", "critical_path",
+    "fleet_attribution",
     "DiagCategory", "Diagnostic", "Severity",
     "MetricsObserver", "MetricsRegistry",
     "Decision", "DecisionKind", "DecisionLedger",

@@ -3,8 +3,12 @@
 Checks the structural invariants a trace viewer relies on — the file is
 valid JSON, events carry the required keys, complete ("X") events have
 non-negative numeric ``ts``/``dur``, timestamps are monotonically
-non-decreasing per track, and child intervals do not escape the root run
-span. Flow events (the request→batch arrows the serving tracer emits)
+non-decreasing per track, child intervals do not escape the root run
+span, and per-track slice nesting is well-formed: an event that starts
+inside an open slice on its track must end inside it too
+(:func:`validate_containment` reports the offending span *path*, e.g.
+``run/loop cs42/machine cs42-m1`` — a child escaping its parent renders
+as overlapping garbage in the viewer). Flow events (the request→batch arrows the serving tracer emits)
 are checked pairwise: every flow id must have exactly one start ("s")
 and one finish ("f") with matching name/category, the finish must not
 precede the start, and both endpoints must land inside a complete event
@@ -54,7 +58,46 @@ def validate_events(events: List[dict]) -> List[str]:
                     and e["ts"] + e["dur"] > run_end + 1.0):  # 1us tolerance
                 errors.append(f"event {i} ({e.get('name')}): interval ends "
                               f"after the run span")
+    errors.extend(validate_containment(xs))
     errors.extend(validate_flows(events, xs))
+    return errors
+
+
+#: slack for interval checks on exported traces: ts/dur are rounded to
+#: 3 decimals (µs) independently, so parent/child edges can disagree by
+#: a few nanoseconds after rounding
+_TOL_US = 0.01
+
+
+def validate_containment(xs: List[dict]) -> List[str]:
+    """Per-track slice-nesting check: every event overlapping an open
+    slice must be fully enclosed by it (child ts/dur inside parent).
+
+    Walks each (pid, tid) track in time order with a stack of open
+    slices; on violation reports the offending event and the full path
+    of open ancestors so the broken span is identifiable in the tree.
+    """
+    errors: List[str] = []
+    tracks: dict = {}
+    for e in xs:
+        if (isinstance(e.get("ts"), (int, float))
+                and isinstance(e.get("dur"), (int, float))):
+            tracks.setdefault((e.get("pid"), e.get("tid")), []).append(e)
+    for track in sorted(tracks, key=str):
+        evs = sorted(tracks[track], key=lambda e: (e["ts"], -e["dur"]))
+        stack: List[tuple] = []      # (name, end_ts) of open slices
+        for e in evs:
+            ts, end = e["ts"], e["ts"] + e["dur"]
+            while stack and stack[-1][1] <= ts + _TOL_US:
+                stack.pop()
+            if stack and end > stack[-1][1] + _TOL_US:
+                path = "/".join(n for n, _ in stack)
+                errors.append(
+                    f"containment: event '{e.get('name')}' on track "
+                    f"{track} ends at {end} after its enclosing span "
+                    f"path '{path}' ends at {stack[-1][1]}")
+                continue             # don't push the escapee as a parent
+            stack.append((str(e.get("name")), end))
     return errors
 
 

@@ -140,9 +140,22 @@ def flow_events(roots: Iterable[Span]) -> List[dict]:
     return events
 
 
+def _event_sort_key(e: dict) -> tuple:
+    """Total order over complete events: track, then time, then longest
+    slice first (so parents precede children at equal ts), then name.
+    Sorting on it makes the trace byte-identical no matter what order
+    spans were completed or dict iteration yielded them in."""
+    return (e["pid"], e["tid"], e["ts"], -e["dur"], e["cat"], e["name"])
+
+
 def chrome_trace_events(source: Union[Tracer, Span]) -> List[dict]:
     """Flatten span tree(s) into Chrome trace events (``ph: "X"``),
-    plus request↔batch flow arrows when request spans are present."""
+    plus request↔batch flow arrows when request spans are present.
+
+    Output order is deterministic: metadata events first (sorted
+    tracks), complete events sorted by :func:`_event_sort_key`, then
+    flow arrows sorted by rid — two traces of the same run serialize
+    byte-identically regardless of completion or insertion order."""
     roots: List[Span]
     roots = source.runs if isinstance(source, Tracer) else [source]
     events: List[dict] = []
@@ -165,6 +178,7 @@ def chrome_trace_events(source: Union[Tracer, Span]) -> List[dict]:
                 "dur": round(sp.dur_s * _US, 3),
                 "args": _clean_args(sp.attrs),
             })
+    events.sort(key=_event_sort_key)
     meta = [{"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
              "args": {"name": "dmll simulated run"}}]
     for tid in sorted(tids):

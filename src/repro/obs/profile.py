@@ -102,7 +102,13 @@ def _split_series(series: str) -> Tuple[str, List[Tuple[str, str]]]:
 
 
 def _escape(v: str) -> str:
-    return v.replace("\\", "\\\\").replace('"', '\\"')
+    """Label-value escaping per the Prometheus/OpenMetrics text
+    exposition format: backslash first (so it doesn't re-escape the
+    others), then double-quote and newline. A raw newline inside a
+    label value would otherwise split the sample line and corrupt the
+    whole scrape."""
+    return (v.replace("\\", "\\\\").replace('"', '\\"')
+             .replace("\n", "\\n"))
 
 
 def _label_str(labels: List[Tuple[str, str]]) -> str:

@@ -202,6 +202,16 @@ class DecisionLedger:
                      f"{strip_ids(d.reason)}|{d.count}\n".encode())
         return h.hexdigest()[:16]
 
+    def normalized_keys(self, max_reason: int = 120) -> List[str]:
+        """Sorted, id-stripped decision keys — the multiset the digest
+        hashes, rendered as strings so run records can carry it and
+        ``repro.obs.analyze`` can diff two records' key sets when their
+        digests drift (``reason`` is truncated to keep records small)."""
+        return sorted(
+            f"{d.kind.value}|{strip_ids(d.site)}|{d.outcome}|"
+            f"{strip_ids(d.reason)[:max_reason]}|x{d.count}"
+            for d in self.decisions)
+
     def to_json(self) -> Dict[str, Any]:
         return {"digest": self.digest(),
                 "decisions": [d.to_dict() for d in self.decisions]}

@@ -8,12 +8,24 @@ Compares the latest record of every app in the history store
   runners jitters; simulated metrics do not);
 - **cycles** — simulated cycle counts are deterministic for a given
   compile, so the threshold is near-exact by default;
+- **simulated seconds** — the machine-model pricing is likewise
+  deterministic; a sim-time regression means the cost model now charges
+  more for the same program (or the program itself got slower), and is
+  gated near-exactly like cycles;
 - **decision digest** — any drift against the *previous* record fails:
   a digest change means a compiler decision flipped (a fusion that used
   to fire no longer does, a stencil degraded, a backend plan fell back),
   which is exactly the silent-regression class the provenance ledger
   exists to catch. Intentional changes are re-baselined by simply
   letting the new record append (the next run compares against it).
+
+On any gate failure the checker now *explains itself*: it builds a
+root-cause report (:func:`repro.obs.analyze.root_cause_from_records`) —
+latest vs the rolling-median baseline record, per-loop sim-delta
+ranking with the dominant contributor named, and the decision-ledger
+key diff when the digest drifted — prints it under the failure lines,
+and writes it as JSON when ``--report-out DIR`` is given (CI uploads
+that directory as the failure artifact).
 
 Exit codes follow the repo-wide convention: 0 ok, 1 regression found,
 2 bad usage.
@@ -39,6 +51,9 @@ DEFAULT_WINDOW = 5
 DEFAULT_WALL_PCT = 10.0
 #: simulated-cycle threshold — deterministic, so near-exact
 DEFAULT_CYCLE_PCT = 0.1
+#: simulated-seconds threshold — the machine model prices
+#: deterministically, so this is near-exact too
+DEFAULT_SIM_PCT = 0.1
 #: prior records required before the wall-clock gate arms. With fewer,
 #: a single noisy bootstrap run *is* the rolling median and can
 #: permanently fail (or mask) the gate; until the window fills the app
@@ -57,6 +72,7 @@ class AppVerdict:
     latest: Optional[RunRecord] = None
     baseline_wall: Optional[float] = None
     baseline_cycles: Optional[float] = None
+    baseline_sim: Optional[float] = None
     runs: int = 0
 
     @property
@@ -68,7 +84,8 @@ def check_records(app: str, records: Sequence[RunRecord],
                   window: int = DEFAULT_WINDOW,
                   wall_pct: float = DEFAULT_WALL_PCT,
                   cycle_pct: float = DEFAULT_CYCLE_PCT,
-                  min_wall_window: int = MIN_WALL_WINDOW) -> AppVerdict:
+                  min_wall_window: int = MIN_WALL_WINDOW,
+                  sim_pct: float = DEFAULT_SIM_PCT) -> AppVerdict:
     """Pure comparison logic (unit-testable without touching disk)."""
     if len(records) == 0:
         return AppVerdict(app, "bootstrap", runs=0)
@@ -81,6 +98,7 @@ def check_records(app: str, records: Sequence[RunRecord],
     base = prior[-window:]
     base_wall = median(r.wall_s for r in base)
     base_cycles = median(r.cycles for r in base)
+    base_sim = median(r.sim_s for r in base)
     problems: List[str] = []
 
     # the noisy host-wall gate needs a real baseline before it arms
@@ -99,6 +117,13 @@ def check_records(app: str, records: Sequence[RunRecord],
                 f"cycle regression: {latest.cycles} vs baseline median "
                 f"{base_cycles:.0f} (+{pct:.2f}% > {cycle_pct:.2f}% "
                 f"threshold)")
+    if base_sim > 0:
+        pct = (latest.sim_s - base_sim) / base_sim * 100.0
+        if pct > sim_pct:
+            problems.append(
+                f"simulated-time regression: {latest.sim_s * 1e3:.3f} ms "
+                f"vs baseline median {base_sim * 1e3:.3f} ms "
+                f"(+{pct:.2f}% > {sim_pct:.2f}% threshold)")
 
     prev = prior[-1]
     if latest.digest and prev.digest and latest.digest != prev.digest:
@@ -116,7 +141,7 @@ def check_records(app: str, records: Sequence[RunRecord],
     return AppVerdict(app, status,
                       problems=problems, latest=latest,
                       baseline_wall=base_wall, baseline_cycles=base_cycles,
-                      runs=len(records))
+                      baseline_sim=base_sim, runs=len(records))
 
 
 def trend_table(verdicts: Sequence[AppVerdict]) -> str:
@@ -146,12 +171,43 @@ def check_all(root=None, apps: Optional[Sequence[str]] = None,
               window: int = DEFAULT_WINDOW,
               wall_pct: float = DEFAULT_WALL_PCT,
               cycle_pct: float = DEFAULT_CYCLE_PCT,
-              min_wall_window: int = MIN_WALL_WINDOW) -> List[AppVerdict]:
+              min_wall_window: int = MIN_WALL_WINDOW,
+              sim_pct: float = DEFAULT_SIM_PCT) -> List[AppVerdict]:
     names = list(apps) if apps else known_apps(root)
     return [check_records(a, load_history(a, root), window=window,
                           wall_pct=wall_pct, cycle_pct=cycle_pct,
-                          min_wall_window=min_wall_window)
+                          min_wall_window=min_wall_window, sim_pct=sim_pct)
             for a in names]
+
+
+def emit_root_causes(failed: Sequence[AppVerdict], root,
+                     window: int,
+                     report_out: Optional[str] = None) -> List[str]:
+    """Print a root-cause report for each failed verdict; write the JSON
+    form under ``report_out`` when given. Returns written paths."""
+    import pathlib
+
+    from .analyze import root_cause_from_records, root_cause_json
+    written: List[str] = []
+    out_dir: Optional[pathlib.Path] = None
+    if report_out:
+        out_dir = pathlib.Path(report_out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for v in failed:
+        rc = root_cause_from_records(v.app, load_history(v.app, root),
+                                     window=window, problems=v.problems)
+        if rc is None:
+            print(f"root-cause report: {v.app}: fewer than two records; "
+                  f"no baseline to diff against")
+            continue
+        print(rc.render())
+        if out_dir is not None:
+            path = out_dir / f"root-cause-{v.app}.json"
+            path.write_text(root_cause_json(rc) + "\n")
+            written.append(str(path))
+    if written:
+        print(f"root-cause JSON written: {', '.join(written)}")
+    return written
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -173,6 +229,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ap.add_argument("--cycle-pct", type=float, default=DEFAULT_CYCLE_PCT,
                     help="simulated-cycle threshold in percent "
                          "(default %(default)s)")
+    ap.add_argument("--sim-pct", type=float, default=DEFAULT_SIM_PCT,
+                    help="simulated-seconds threshold in percent "
+                         "(default %(default)s)")
+    ap.add_argument("--report-out", default=None, metavar="DIR",
+                    help="write per-app root-cause JSON reports into DIR "
+                         "on gate failure (CI artifact)")
     ap.add_argument("--min-wall-window", type=int,
                     default=MIN_WALL_WINDOW,
                     help="prior records required before the wall-clock "
@@ -194,7 +256,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if args.apps else None)
     verdicts = check_all(root=args.history, apps=apps, window=args.window,
                          wall_pct=args.wall_pct, cycle_pct=args.cycle_pct,
-                         min_wall_window=args.min_wall_window)
+                         min_wall_window=args.min_wall_window,
+                         sim_pct=args.sim_pct)
     if not verdicts:
         print("no benchmark history found (bootstrap); nothing to check")
         return EXIT_OK
@@ -204,6 +267,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for v in failed:
         for p in v.problems:
             print(f"REGRESSION {v.app}: {p}")
+    if failed:
+        emit_root_causes(failed, args.history, args.window,
+                         report_out=args.report_out)
     boot = [v.app for v in verdicts if v.status == "bootstrap"]
     if boot:
         print(f"bootstrap (single or no record, baseline being "

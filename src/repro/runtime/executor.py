@@ -17,6 +17,7 @@ re-running.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
@@ -219,6 +220,38 @@ def capture_run(compiled: CompiledProgram, inputs: Dict[str, Any],
                       backend, fallbacks, host_loop_s)
 
 
+#: fault-injection knob for the regression observatory's own tests:
+#: ``REPRO_INFLATE_LOOP="cs:2.0"`` (comma-separated ``loop:factor`` pairs)
+#: multiplies every priced cost component of the matching loop(s). A loop
+#: matches on exact name, name prefix, or id-stripped name (``cs`` hits
+#: ``cs42``). Unset — the common case — costs exactly one env lookup per
+#: priced run and changes nothing.
+INFLATE_ENV = "REPRO_INFLATE_LOOP"
+
+
+def _parse_inflation(spec: str) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for part in spec.split(","):
+        name, _, factor = part.partition(":")
+        name = name.strip()
+        if not name or not factor:
+            continue
+        try:
+            out[name] = float(factor)
+        except ValueError:
+            continue
+    return out
+
+
+def _inflation_factor(table: Dict[str, float], loop_name: str) -> float:
+    from ..obs.provenance import strip_ids
+    for key, factor in table.items():
+        if (loop_name == key or loop_name.startswith(key)
+                or strip_ids(loop_name).rstrip("#") == key):
+            return factor
+    return 1.0
+
+
 class Simulator:
     """Prices one compiled program on one machine/profile combination."""
 
@@ -245,6 +278,8 @@ class Simulator:
         tr = self.options.tracer
         self._obs = tr is not None and tr.enabled
         self._mx = self.options.metrics
+        inflate_spec = os.environ.get(INFLATE_ENV)
+        inflate = _parse_inflation(inflate_spec) if inflate_spec else None
         sim = SimResult(cap.results, cap.stats, backend=cap.backend,
                         fallbacks=list(cap.fallbacks))
         root: Optional["Span"] = None
@@ -265,6 +300,15 @@ class Simulator:
             per_iter = cap.per_iter.get(rec.sym_id)
             ls = self._price_loop(rec, info, stencils, loop_def, per_iter,
                                   footprints)
+            if inflate:
+                factor = _inflation_factor(inflate, ls.name)
+                if factor != 1.0:
+                    ls.compute_s *= factor
+                    ls.memory_s *= factor
+                    ls.comm_s *= factor
+                    ls.overhead_s *= factor
+                    if ls.detail is not None:
+                        ls.detail["cost_inflation"] = factor
             sim.loops.append(ls)
             if self._mx is not None:
                 self._mx.inc("executor.loops_priced")

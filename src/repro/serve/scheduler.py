@@ -483,7 +483,8 @@ class ProgramServer:
         if self._root is not None:
             bsp = self._root.child(
                 f"b{bid}:{app}x{n}", "batch", now, svc,
-                machine=machine.index, app=app, batch=n, batch_id=bid,
+                machine=machine.index, machine_name=machine.name,
+                app=app, batch=n, batch_id=bid,
                 lane_packed=fallback_reason is None and n > 1,
                 backend=cap.backend, service_s=svc,
                 fallback=fallback_reason)

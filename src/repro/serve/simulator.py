@@ -145,6 +145,10 @@ class ServeReport:
     #: SLO evaluation (``repro.obs.slo.SLOReport.to_json()``), attached
     #: by the CLI when a spec is supplied
     slo: Optional[Dict[str, Any]] = None
+    #: exact per-request latency decomposition aggregated per app and
+    #: per machine (``repro.obs.analyze.decomposition_summary``) —
+    #: present only when the run was traced (request timelines exist)
+    decomposition: Optional[Dict[str, Any]] = None
 
     def render(self) -> str:
         from ..report.tables import render_table
@@ -171,17 +175,28 @@ class ServeReport:
         if self.slo is not None:
             rows.append(["slo", "ok" if self.slo.get("status") == "ok"
                          else "VIOLATED"])
+        if self.decomposition is not None:
+            comps = self.decomposition["components"]
+            rows.append(["latency split (mean ms)",
+                         "  ".join(f"{name[:-2]}="
+                                   f"{comps[name]['mean_s'] * 1e3:.3f}"
+                                   for name in ("admission_s",
+                                                "batch_window_s",
+                                                "dispatch_s", "stagger_s",
+                                                "execution_s"))])
         return render_table(["metric", "value"], rows,
                             title=f"serving simulation ({self.mode} loop)")
 
     def to_json(self) -> Dict[str, Any]:
         doc = {k: v for k, v in self.__dict__.items()
-               if k not in ("latencies_s", "slo")}
+               if k not in ("latencies_s", "slo", "decomposition")}
         # the CI latency-histogram artifact: bucketed counts over the
         # full latency range plus the raw quantiles above
         doc["latency_histogram"] = self.latency_histogram()
         if self.slo is not None:
             doc["slo"] = self.slo
+        if self.decomposition is not None:
+            doc["decomposition"] = self.decomposition
         return doc
 
     def latency_histogram(self, buckets: int = 20) -> Dict[str, Any]:
@@ -284,4 +299,14 @@ class ServeSim:
                 for m in server.machines},
             latencies_s=lats,
             latency_by_app=latency_breakdown(by_app),
-            latency_by_machine=latency_breakdown(by_machine))
+            latency_by_machine=latency_breakdown(by_machine),
+            decomposition=ServeSim._decomposition_of(server))
+
+    @staticmethod
+    def _decomposition_of(server: ProgramServer) -> Optional[Dict[str, Any]]:
+        # timelines exist only on traced runs; untraced reports carry no
+        # decomposition section (and pay no analysis cost)
+        if not getattr(server, "_timelines", None):
+            return None
+        from ..obs.analyze import decomposition_summary
+        return decomposition_summary(server)

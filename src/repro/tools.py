@@ -22,6 +22,9 @@ Usage::
     python -m repro.tools serve-sim kmeans --machines numa*2,gpunode
     python -m repro.tools serve-sim kmeans --trace-out t.json --slo s.json
     python -m repro.tools slo-report kmeans --spec examples/slo_serving.json
+    python -m repro.tools analyze kmeans --critical-path
+    python -m repro.tools analyze kmeans --diff prev latest
+    python -m repro.tools analyze kmeans --requests --json
     python -m repro.tools --list
 
 Exit codes (repo-wide convention): 0 ok, 1 check failed, 2 bad usage.
@@ -334,7 +337,10 @@ def serve_main(argv=None) -> int:
                   file=sys.stderr)
             return EXIT_USAGE
     metrics = MetricsRegistry()
-    tracer = Tracer() if (args.trace_out or args.flame_out) else None
+    # --latency-out also traces: request timelines feed the exact
+    # latency `decomposition` section of the latency JSON
+    tracer = (Tracer() if (args.trace_out or args.flame_out
+                           or args.latency_out) else None)
     try:
         sim, report = _run_traffic(args, metrics, tracer)
     except ValueError as exc:
@@ -428,6 +434,212 @@ def slo_main(argv=None) -> int:
     return EXIT_OK
 
 
+def _analyze_critical(app: str, backend, as_json: bool) -> int:
+    """Simulate ``app`` on its bundled dataset with tracing and print the
+    critical path of the priced run."""
+    from .bench.apps import get_bundle
+    from .obs import Tracer
+    from .obs.critical import critical_path
+    bundle = get_bundle(app)
+    tracer = Tracer()
+    bundle.simulate("opt", tracer=tracer, backend=backend)
+    root = tracer.last_run
+    root.name = app
+    cp = critical_path(root)
+    if as_json:
+        print(_json.dumps(cp.to_json(), indent=2, sort_keys=True))
+    else:
+        print(cp.render())
+        dom = cp.dominant(kind="loop")
+        if dom is not None:
+            print(f"dominant loop: {dom.span.name} "
+                  f"(self {dom.self_s * 1e3:.3f} ms of "
+                  f"{cp.total_s * 1e3:.3f} ms)")
+        print(f"self-time attribution covers "
+              f"{cp.attributed_s * 1e3:.3f} ms of "
+              f"{cp.total_s * 1e3:.3f} ms end-to-end")
+    return EXIT_OK
+
+
+def _analyze_diff(app: str, ref_a: str, ref_b: str, history,
+                  window: int, as_json: bool) -> int:
+    """Differential diff of two history records of ``app``."""
+    from .obs.analyze import RootCause, root_cause_json
+    from .obs.history import load_history
+    records = load_history(app, history)
+    if len(records) < 2:
+        print(f"analyze --diff: {app} has {len(records)} history "
+              f"record(s); need two to diff — nothing to report")
+        return EXIT_OK
+
+    def resolve(ref: str) -> int:
+        if ref == "latest":
+            return len(records) - 1
+        if ref == "prev":
+            return len(records) - 2
+        i = int(ref)                       # may raise ValueError
+        return i if i >= 0 else len(records) + i
+
+    try:
+        ia, ib = resolve(ref_a), resolve(ref_b)
+        rec_a, rec_b = records[ia], records[ib]
+    except (ValueError, IndexError):
+        print(f"analyze --diff: refs must be 'latest', 'prev' or an "
+              f"index into {len(records)} records; got "
+              f"{ref_a!r} {ref_b!r}", file=sys.stderr)
+        return EXIT_USAGE
+    rc = RootCause(app, rec_a, rec_b, window,
+                   baseline_desc=f"explicit diff: record {ia} vs {ib}")
+    from .obs.analyze import diff_loop_rows
+    rows_a = rec_a.extra.get("per_loop")
+    rows_b = rec_b.extra.get("per_loop")
+    if rows_a and rows_b:
+        rc.loop_deltas = diff_loop_rows(rows_a, rows_b)
+    else:
+        rc.notes.append("per-loop breakdown missing on at least one "
+                        "record; loop attribution unavailable")
+    if rc.digest_drifted:
+        from collections import Counter
+        ka = Counter(rec_a.extra.get("decisions") or [])
+        kb = Counter(rec_b.extra.get("decisions") or [])
+        rc.ledger_only_baseline = sorted((ka - kb).elements())
+        rc.ledger_only_latest = sorted((kb - ka).elements())
+    if as_json:
+        print(root_cause_json(rc))
+    else:
+        print(rc.render())
+    return EXIT_OK
+
+
+def _analyze_requests(app: str, args) -> int:
+    """Seeded serving run; print the exact per-request latency
+    decomposition and fleet bottleneck attribution."""
+    from .obs import Tracer
+    from .obs.analyze import COMPONENTS, request_decomposition
+    from .obs.critical import fleet_attribution
+    from .serve import ServeSim
+    tracer = Tracer()
+    sim = ServeSim([app], machines=args.machines, max_batch=args.batch,
+                   max_wait_s=args.max_wait_ms / 1e3, policy=args.policy,
+                   backend=args.backend or "numpy", tracer=tracer)
+    if args.rate is not None:
+        report = sim.run_open(args.rate, args.count, seed=args.seed)
+    else:
+        report = sim.run_closed(args.clients, args.count, seed=args.seed)
+    rows = request_decomposition(sim.last_server)
+    # the decomposition identity is exact by construction; verify it
+    # anyway so a future refactor can't silently break the contract
+    inexact = [r["rid"] for r in rows
+               if sum(r[c] for c in COMPONENTS) != r["latency_s"]]
+    fleet = fleet_attribution(tracer.last_run)
+    if args.json:
+        doc = {"app": app, "mode": report.mode, "seed": args.seed,
+               "exact": not inexact,
+               "requests": rows,
+               "decomposition": report.decomposition,
+               "fleet": fleet.to_json()}
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        from .report.tables import render_table
+        trows = [[r["rid"], r["app"], r["machine"]]
+                 + [f"{r[c] * 1e3:.3f}" for c in COMPONENTS]
+                 + [f"{r['latency_s'] * 1e3:.3f}"] for r in rows]
+        print(render_table(
+            ["rid", "app", "machine", "admission", "batch win",
+             "dispatch", "stagger", "execution", "latency ms"],
+            trows, title=f"per-request latency decomposition ({app}, "
+                         f"seed {args.seed}, all columns ms)"))
+        print(fleet.render())
+        if inexact:
+            print(f"DECOMPOSITION INEXACT for rids {inexact}",
+                  file=sys.stderr)
+        else:
+            print(f"decomposition exact: components sum to latency "
+                  f"(tol 0.0) for all {len(rows)} requests")
+    return EXIT_FAIL if inexact else EXIT_OK
+
+
+def analyze_main(argv=None) -> int:
+    """``repro.tools analyze``: trace analytics over the simulated
+    runtime — critical path, history diff, request decomposition."""
+    ap = argparse.ArgumentParser(
+        prog="repro.tools analyze",
+        description="Turn recorded telemetry into answers: extract the "
+                    "critical path of a priced run (--critical-path, the "
+                    "default), attribute the delta between two benchmark "
+                    "history records to specific loops and machines "
+                    "(--diff A B), or decompose every request's latency "
+                    "of a seeded serving run exactly (--requests).")
+    ap.add_argument("app", nargs="?", help="application name")
+    ap.add_argument("--critical-path", action="store_true",
+                    help="extract the critical path of one simulated run "
+                         "(default mode)")
+    ap.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                    help="diff two history records; refs are 'latest', "
+                         "'prev', or an integer index (negative counts "
+                         "from the end)")
+    ap.add_argument("--requests", action="store_true",
+                    help="run a seeded serving simulation and print the "
+                         "exact per-request latency decomposition plus "
+                         "fleet bottleneck attribution")
+    ap.add_argument("--json", action="store_true",
+                    help="emit JSON (deterministic: sorted keys; "
+                         "byte-identical for the same seed)")
+    ap.add_argument("--history", default=None,
+                    help="history directory for --diff "
+                         "(default: benchmarks/history)")
+    ap.add_argument("--window", type=int, default=8,
+                    help="window label recorded on --diff reports "
+                         "(default %(default)s)")
+    ap.add_argument("--backend", choices=("reference", "numpy"),
+                    default=None,
+                    help="functional engine (default: $REPRO_BACKEND or "
+                         "reference; --requests defaults to numpy)")
+    ap.add_argument("--count", type=int, default=16,
+                    help="--requests: total requests (default %(default)s)")
+    ap.add_argument("--clients", type=int, default=4,
+                    help="--requests: closed-loop clients "
+                         "(default %(default)s)")
+    ap.add_argument("--rate", type=float, default=None, metavar="RPS",
+                    help="--requests: open-loop arrival rate "
+                         "(default: closed loop)")
+    ap.add_argument("--batch", type=int, default=8,
+                    help="--requests: max lane-packed batch "
+                         "(default %(default)s)")
+    ap.add_argument("--max-wait-ms", type=float, default=20.0,
+                    help="--requests: admission window "
+                         "(default %(default)s)")
+    ap.add_argument("--machines", default="numa", metavar="SPEC",
+                    help="--requests: machine fleet (default %(default)s)")
+    ap.add_argument("--policy",
+                    choices=("round-robin", "least-loaded", "fastest"),
+                    default="round-robin",
+                    help="--requests: placement policy")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="--requests: traffic seed (same seed, "
+                         "byte-identical --json output)")
+    try:
+        args = ap.parse_args(argv)
+    except SystemExit as e:
+        return int(e.code or 0)
+    if not args.app:
+        print("analyze requires an application name", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.diff is not None:
+        return _analyze_diff(args.app, args.diff[0], args.diff[1],
+                             args.history, args.window, args.json)
+
+    from .bench.apps import _FACTORIES
+    if args.app not in _FACTORIES:
+        print(f"analyze needs a bundled dataset; apps with one: "
+              f"{', '.join(sorted(_FACTORIES))}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.requests:
+        return _analyze_requests(args.app, args)
+    return _analyze_critical(args.app, args.backend, args.json)
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "explain":
@@ -436,6 +648,8 @@ def main(argv=None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "slo-report":
         return slo_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        return analyze_main(argv[1:])
     ap = argparse.ArgumentParser(prog="repro.tools", description=__doc__)
     ap.add_argument("app", nargs="?", help="application name (see --list)")
     ap.add_argument("--list", action="store_true", help="list applications")

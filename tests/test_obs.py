@@ -150,6 +150,33 @@ class TestChromeTrace:
         run = next(e for e in doc["traceEvents"] if e.get("cat") == "run")
         assert run["dur"] == pytest.approx(sim.total_seconds * 1e6, rel=1e-6)
 
+    def test_event_order_deterministic_under_child_permutation(self):
+        # two structurally identical trees whose children were recorded
+        # in different orders must export byte-identical event streams —
+        # the exporter sorts on (pid, tid, ts, -dur, cat, name)
+        def tree():
+            root = Span("run", "run", 0.0, 10.0)
+            a = root.child("loopA", "loop", 0.0, 4.0)
+            a.child("loopA/m0", "machine", 0.0, 2.0)
+            a.child("loopA/m1", "machine", 0.0, 2.0)
+            root.child("loopB", "loop", 4.0, 6.0)
+            return root
+
+        t1, t2 = tree(), tree()
+        t2.children.reverse()
+        t2.children[-1].children.reverse()
+        e1, e2 = chrome_trace_events(t1), chrome_trace_events(t2)
+        assert e1 == e2
+        assert json.dumps(e1, sort_keys=True) == json.dumps(e2,
+                                                            sort_keys=True)
+
+    def test_event_order_sorted_within_track(self):
+        _, root = traced("kmeans")
+        xs = [e for e in chrome_trace_events(root) if e["ph"] == "X"]
+        keys = [(e["pid"], e["tid"], e["ts"], -e["dur"], e["cat"], e["name"])
+                for e in xs]
+        assert keys == sorted(keys)
+
     def test_validator_rejects_bad_traces(self, tmp_path):
         assert validate_events([]) != []
         assert validate_events([{"ph": "X", "name": "a", "pid": 1, "tid": 0,
@@ -219,6 +246,65 @@ class TestFlowValidation:
              "pid": 1, "tid": 1, "ts": 10.0}]
         errs = validate_events(events)
         assert any("mismatch" in e for e in errs)
+
+
+# ---------------------------------------------------------------------------
+# parent/child containment
+# ---------------------------------------------------------------------------
+
+class TestContainmentValidation:
+    def test_nested_slices_pass(self):
+        events = [_slice("run", 1, 0, 0.0, 100.0, cat="run"),
+                  _slice("loop", 1, 0, 10.0, 50.0),
+                  _slice("chunk", 1, 0, 10.0, 20.0)]
+        assert validate_events(events) == []
+
+    def test_escaping_child_rejected_with_span_path(self):
+        # "chunk" starts inside "loop" but ends after it — the viewer
+        # renders that as overlapping garbage, the validator names the
+        # offender and the enclosing path
+        events = [_slice("run", 1, 0, 0.0, 100.0, cat="run"),
+                  _slice("loop", 1, 0, 10.0, 50.0),
+                  _slice("chunk", 1, 0, 40.0, 30.0)]
+        errs = validate_events(events)
+        assert any("containment" in e and "'chunk'" in e for e in errs)
+        (err,) = [e for e in errs if "containment" in e]
+        assert "run/loop" in err  # the full enclosing span path
+        assert "(1, 0)" in err    # the track it happened on
+
+    def test_escaping_root_child_rejected(self):
+        events = [_slice("run", 1, 0, 0.0, 100.0, cat="run"),
+                  _slice("late", 1, 0, 90.0, 20.0)]
+        errs = validate_events(events)
+        assert any("containment" in e and "'late'" in e
+                   and "'run'" in e for e in errs)
+
+    def test_sibling_slices_may_touch(self):
+        # back-to-back siblings sharing an edge are fine
+        events = [_slice("run", 1, 0, 0.0, 100.0, cat="run"),
+                  _slice("a", 1, 0, 0.0, 50.0),
+                  _slice("b", 1, 0, 50.0, 50.0)]
+        assert validate_events(events) == []
+
+    def test_tracks_validated_independently(self):
+        # an overlap across different tids is not a containment error
+        events = [_slice("run", 1, 0, 0.0, 100.0, cat="run"),
+                  _slice("m0", 1, 1, 40.0, 30.0),
+                  _slice("m1", 1, 2, 50.0, 30.0)]
+        assert validate_events(events) == []
+
+    def test_rounding_jitter_tolerated(self):
+        # exporter rounds ts/dur to 3 decimals of a microsecond; a
+        # sub-tolerance overhang must not be flagged
+        events = [_slice("run", 1, 0, 0.0, 100.0, cat="run"),
+                  _slice("loop", 1, 0, 10.0, 50.0),
+                  _slice("chunk", 1, 0, 10.0, 50.005)]
+        assert validate_events(events) == []
+
+    def test_real_traces_contain(self):
+        for app in ("kmeans", "q1"):
+            _, root = traced(app)
+            assert validate_events(chrome_trace_events(root)) == []
 
 
 # ---------------------------------------------------------------------------
@@ -298,6 +384,39 @@ class TestProfileExports:
 
     def test_prometheus_empty_registry(self):
         assert prometheus_text(MetricsRegistry()).endswith("# EOF\n")
+
+    def test_prometheus_label_escaping(self):
+        # the exposition format requires \\, \", and \n escaped inside
+        # label values — a raw newline corrupts the whole scrape
+        m = MetricsRegistry()
+        m.inc("serve.requests", 1.0, app='k"means')
+        m.inc("serve.requests", 2.0, app="a\\b")
+        m.inc("serve.requests", 3.0, app="two\nlines")
+        text = prometheus_text(m)
+        assert 'app="k\\"means"' in text
+        assert 'app="a\\\\b"' in text
+        assert 'app="two\\nlines"' in text
+        # no label value may leak an unescaped newline or quote
+        for line in text.splitlines():
+            if "{" not in line:
+                continue
+            labels = line[line.index("{") + 1:line.rindex("}")]
+            assert "\n" not in labels
+            body = labels
+            for esc in ('\\\\', '\\"', '\\n'):
+                body = body.replace(esc, "")
+            # any quote left is a delimiter: value="...",
+            assert body.count('"') % 2 == 0
+
+    def test_prometheus_escaping_round_trips_distinct_values(self):
+        # 'a\\nb' (literal backslash-n) and 'a\nb' (newline) must stay
+        # distinguishable after escaping, else series silently merge
+        m = MetricsRegistry()
+        m.inc("serve.requests", 1.0, app="a\\nb")
+        m.inc("serve.requests", 5.0, app="a\nb")
+        text = prometheus_text(m)
+        assert 'app="a\\\\nb"} 1' in text
+        assert 'app="a\\nb"} 5' in text
 
 
 # ---------------------------------------------------------------------------

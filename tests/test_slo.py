@@ -155,6 +155,72 @@ class TestEvaluate:
 
 
 # ---------------------------------------------------------------------------
+# burn-rate edge cases: degenerate windows and single-sample runs
+# ---------------------------------------------------------------------------
+
+class TestBurnEdgeCases:
+    def test_window_longer_than_run(self):
+        # window 10 s over a 50 ms run: one window swallows the whole
+        # timeline, so the local burn equals the global budget burn
+        rep = evaluate_slo(spec(target=0.9, window_s=10.0),
+                           responses([0.01, 0.01, 0.2, 0.01, 0.01]))
+        (r,) = rep.results
+        assert len(r.windows) == 1
+        w = r.windows[0]
+        assert (w.total, w.bad) == (5, 1)
+        assert w.t1_s >= max(0.01 * (i + 1) for i in range(5))
+        assert r.max_burn_rate == pytest.approx(r.budget_consumed)
+        assert r.worst_window is w
+
+    def test_zero_request_windows_skipped(self):
+        # two bursts separated by a long silent gap: windows over the
+        # gap hold zero requests and must be skipped, not scored as
+        # zero-burn evidence (which would dilute max_burn_rate)
+        rs = responses([0.01, 0.01], spacing_s=0.01)
+        rs += [FakeResponse(finish_s=1.0 + i * 0.01, latency_s=0.2)
+               for i in range(2)]
+        rep = evaluate_slo(spec(target=0.9, window_s=0.05), rs)
+        (r,) = rep.results
+        assert r.windows and all(w.total > 0 for w in r.windows)
+        # the silent second is not covered by any retained window
+        assert not any(w.t0_s > 0.1 and w.t1_s < 1.0 for w in r.windows)
+        # the late all-bad burst still dominates the burn signal
+        assert r.max_burn_rate == pytest.approx(1.0 / r.objective.budget)
+        assert r.worst_window.bad == 2
+
+    def test_zero_total_window_burns_nothing(self):
+        assert BurnWindow(0.0, 0.05, total=0, bad=0).burn_rate(0.01) == 0.0
+
+    def test_single_sample_availability_ok(self):
+        rep = evaluate_slo(spec(target=0.99, kind="availability"),
+                           responses([0.01]))
+        (r,) = rep.results
+        assert (r.total, r.bad) == (1, 0)
+        assert rep.ok and r.max_burn_rate == 0.0
+        assert r.worst_window is not None and r.worst_window.total == 1
+
+    def test_single_sample_availability_fallback_violates(self):
+        rep = evaluate_slo(spec(target=0.99, kind="availability"),
+                           responses([0.01], fallbacks={0}))
+        (r,) = rep.results
+        assert (r.total, r.bad) == (1, 1)
+        assert not rep.ok
+        assert r.error_rate == 1.0
+        # one bad sample against a 1% budget: a 100x burn, finite
+        assert r.max_burn_rate == pytest.approx(100.0)
+        doc = r.to_json()
+        assert doc["status"] == "violated"
+        assert doc["worst_window"]["bad"] == 1
+
+    def test_single_sample_latency_threshold_boundary(self):
+        # exactly at threshold is good; strictly above is bad
+        at = evaluate_slo(spec(threshold_ms=50.0), responses([0.05]))
+        above = evaluate_slo(spec(threshold_ms=50.0), responses([0.0500001]))
+        assert at.results[0].bad == 0
+        assert above.results[0].bad == 1
+
+
+# ---------------------------------------------------------------------------
 # the slo-report CLI (the CI gate)
 # ---------------------------------------------------------------------------
 
