@@ -1,0 +1,116 @@
+"""Chaos drill: the scripted outage must be survivable, deterministically.
+
+Replays ``examples/faults_outage.json`` — a replica crash window,
+transient hard kernel faults, and a slow replica — against a seeded
+closed-loop run of each app with the full resilience stack on
+(deadlines, retries, hedging, circuit breakers, shedding), and asserts
+the robustness contract:
+
+- **zero lost requests** — every submitted request either comes back as
+  a response or leaves as a typed rejection; the two sets partition the
+  traffic;
+- **the outage is absorbed** — availability stays above the floor and
+  no app permanently degrades to the reference path;
+- **chaos actually fired** — the run is vacuous unless the plan injected
+  at least one fault.
+
+Appends one ``chaos-<app>`` record per app to ``benchmarks/history/``:
+makespan and cycle totals under a *fixed* fault plan are deterministic
+for a fixed seed, so the regression observatory gates them near-exactly
+like any other simulated metric — a drift means the scheduler's
+fault-handling (placement, retry timing, breaker windows) changed
+behaviour.
+"""
+
+import pathlib
+import time
+
+from conftest import emit, emit_json, once
+
+from repro.obs.history import RunRecord, append_record, git_sha
+from repro.report.tables import render_table
+from repro.serve import (BreakerConfig, FaultPlan, ResilienceConfig,
+                         RetryPolicy, ServeSim)
+
+APPS = ["kmeans", "q1"]
+PLAN = pathlib.Path(__file__).parent.parent / "examples" / "faults_outage.json"
+REQUESTS = 48
+#: served fraction the drill must clear even mid-outage
+AVAILABILITY_FLOOR = 0.95
+
+
+def measure_app(app: str) -> dict:
+    plan = FaultPlan.load(str(PLAN))
+    res = ResilienceConfig(deadline_s=2.0,
+                           retry=RetryPolicy(max_attempts=3),
+                           hedge_delay_s=0.03, shed_depth=64,
+                           breaker=BreakerConfig())
+    sim = ServeSim([app], machines="numa*2", max_batch=4, max_wait_s=0.02,
+                   backend="numpy", faults=plan, resilience=res)
+    t0 = time.perf_counter()
+    report = sim.run_closed(clients=6, requests=REQUESTS, seed=1)
+    wall = time.perf_counter() - t0
+    server = sim.last_server
+    summary = server.resilience_summary()
+
+    # zero-lost contract: responses + rejections partition the traffic
+    served = {r.request.rid for r in server.responses}
+    rejected = {j.rid for j in server.rejected}
+    assert not served & rejected
+    assert len(served) + len(rejected) == REQUESTS
+
+    assert report.availability >= AVAILABILITY_FLOOR, (
+        f"{app}: availability {report.availability:.3f} below "
+        f"{AVAILABILITY_FLOOR} under the scripted outage")
+    assert not summary["degraded"], (
+        f"{app}: permanently degraded under a transient fault plan: "
+        f"{summary['degraded']}")
+    assert summary["fault_counts"], f"{app}: the chaos plan injected nothing"
+
+    return {
+        "wall_s": wall,
+        "makespan_s": report.makespan_s,
+        "served": len(served),
+        "rejected": len(rejected),
+        "availability": report.availability,
+        "cycles": sum(r.stats.total_cycles for r in server.responses),
+        "digest": sim.cache.get(app).digest,
+        "fallbacks": len(server.fallbacks),
+        "retries": summary["retries"],
+        "requeues": summary["requeues"],
+        "hedges": summary["hedges"],
+        "fault_counts": summary["fault_counts"],
+        "p99_s": report.latency_p99_s,
+    }
+
+
+def test_chaos_drill(benchmark):
+    summary = once(benchmark, lambda: {a: measure_app(a) for a in APPS})
+
+    rows = []
+    for app in APPS:
+        s = summary[app]
+        rows.append([app, f"{s['served']}/{REQUESTS}",
+                     f"{s['availability'] * 100:6.2f}%",
+                     s["retries"], s["requeues"], s["hedges"],
+                     f"{s['makespan_s'] * 1e3:8.3f}",
+                     f"{s['p99_s'] * 1e3:8.3f}"])
+        append_record(RunRecord(
+            app=f"chaos-{app}", backend="numpy", git_sha=git_sha(),
+            wall_s=s["wall_s"], sim_s=s["makespan_s"],
+            cycles=s["cycles"], fallbacks=s["fallbacks"],
+            digest=s["digest"],
+            extra={"availability": s["availability"],
+                   "served": s["served"], "rejected": s["rejected"],
+                   "retries": s["retries"], "requeues": s["requeues"],
+                   "hedges": s["hedges"],
+                   "fault_counts": s["fault_counts"],
+                   "sim_p99_s": s["p99_s"]}))
+    emit("chaos", render_table(
+        ["app", "served", "avail", "retries", "requeues", "hedges",
+         "makespan ms", "p99 ms"], rows,
+        title=f"chaos drill: {PLAN.name} over {REQUESTS} closed-loop "
+              f"requests, full resilience stack"))
+    import conftest
+    conftest._BREAKDOWNS["chaos"] = summary
+    emit_json("chaos")

@@ -84,6 +84,12 @@ def _clean_args(attrs: Dict[str, Any]) -> Dict[str, Any]:
 _REQUEST_PID = 2
 _REQUEST_KINDS = ("request", "queue", "exec")
 
+#: per-attempt spans (retries, hedges, crash re-enqueues) live in a
+#: third process: attempts of one request share a track, so a hedge
+#: racing its primary nests instead of fighting the winning request
+#: span's queue/exec children for slice nesting
+_ATTEMPT_PID = 3
+
 
 def _tid_of(sp: Span) -> int:
     """Track assignment: the run/loop timeline is tid 0; each simulated
@@ -96,6 +102,8 @@ def _tid_of(sp: Span) -> int:
 def _pid_tid_of(sp: Span) -> tuple:
     if sp.kind in _REQUEST_KINDS:
         return _REQUEST_PID, int(sp.attrs.get("rid", 0))
+    if sp.kind == "attempt":
+        return _ATTEMPT_PID, int(sp.attrs.get("rid", 0))
     return 1, _tid_of(sp)
 
 
@@ -161,6 +169,7 @@ def chrome_trace_events(source: Union[Tracer, Span]) -> List[dict]:
     events: List[dict] = []
     tids = {0}
     req_tids: dict = {}
+    attempt_tids: set = set()
     for root in roots:
         for sp, _depth in root.walk():
             pid, tid = _pid_tid_of(sp)
@@ -168,6 +177,8 @@ def chrome_trace_events(source: Union[Tracer, Span]) -> List[dict]:
                 tids.add(tid)
             elif sp.kind == "request":
                 req_tids[tid] = sp.name
+            elif pid == _ATTEMPT_PID:
+                attempt_tids.add(tid)
             events.append({
                 "name": sp.name,
                 "cat": sp.kind,
@@ -192,6 +203,13 @@ def chrome_trace_events(source: Union[Tracer, Span]) -> List[dict]:
             meta.append({"name": "thread_name", "ph": "M",
                          "pid": _REQUEST_PID, "tid": tid,
                          "args": {"name": req_tids[tid]}})
+    if attempt_tids:
+        meta.append({"name": "process_name", "ph": "M", "pid": _ATTEMPT_PID,
+                     "tid": 0, "args": {"name": "attempts"}})
+        for tid in sorted(attempt_tids):
+            meta.append({"name": "thread_name", "ph": "M",
+                         "pid": _ATTEMPT_PID, "tid": tid,
+                         "args": {"name": f"r{tid} attempts"}})
     return meta + events + flow_events(roots)
 
 

@@ -68,6 +68,9 @@ class DecisionKind(enum.Enum):
     BACKEND_PLAN = "backend-plan"
     #: a typed Diagnostic routed through the ledger (warnings included)
     DIAGNOSTIC = "diagnostic"
+    #: serving layer: an app degraded to the reference-interpreter path
+    #: after repeated kernel faults (``serve.scheduler``)
+    SERVE_DEGRADE = "serve-degrade"
 
 
 @dataclass

@@ -248,15 +248,25 @@ def _windows(events: Sequence[Tuple[float, bool]], window_s: float,
     return out
 
 
-def evaluate_slo(spec: SLOSpec, responses: Sequence[Any]) -> SLOReport:
+def evaluate_slo(spec: SLOSpec, responses: Sequence[Any],
+                 rejected: Sequence[Any] = ()) -> SLOReport:
     """Score ``spec`` against serve responses (anything exposing
-    ``finish_s``, ``latency_s`` and ``fallback_reason``)."""
+    ``finish_s``, ``latency_s`` and ``fallback_reason``).
+
+    ``rejected`` takes the run's :class:`~repro.serve.resilience.Rejected`
+    records (anything exposing ``t_s``): a request the server refused —
+    shed, deadline, retries exhausted — is unconditionally *bad* for
+    every objective, so availability objectives score real failures
+    instead of the trivially-healthy pre-chaos world."""
     makespan = max((r.finish_s for r in responses), default=0.0)
+    makespan = max(makespan, max((j.t_s for j in rejected), default=0.0))
     results = []
     for obj in spec.objectives:
         events = [(r.finish_s,
                    obj.is_bad(r.latency_s, r.fallback_reason is not None))
                   for r in responses]
+        events += [(j.t_s, True) for j in rejected]
+        events.sort(key=lambda e: e[0])
         bad = sum(1 for _, b in events if b)
         res = ObjectiveResult(obj, len(events), bad)
         res.windows = [BurnWindow(t0, t1, n, nb)

@@ -1,6 +1,6 @@
 """Multi-tenant serving layer: compile once, serve many (DESIGN.md §9).
 
-Four cooperating pieces turn the compiled-program pipeline into a
+Six cooperating pieces turn the compiled-program pipeline into a
 request-serving system over the simulated machine models:
 
 - **cache** — compiled programs keyed ``(app, DecisionLedger.digest())``
@@ -13,12 +13,20 @@ request-serving system over the simulated machine models:
   heterogeneous machine instances through a pluggable placement policy;
 - **simulator** — seeded open/closed-loop arrival processes and the
   throughput / p50 / p95 / p99 report, fed through the ``obs`` metrics
-  registry and span tracer (``repro.tools serve-sim`` is the CLI).
+  registry and span tracer (``repro.tools serve-sim`` is the CLI);
+- **faults** — a typed, seeded chaos script (crash windows, slow
+  replicas, kernel faults, cache invalidation) over simulated time;
+- **resilience** — deadlines, retries with seeded backoff, hedging,
+  per-machine circuit breakers and load shedding, with every refused
+  request leaving as a typed ``Rejected`` (DESIGN.md §13).
 """
 
 from .batching import (AdmissionQueue, Payload, Request, Response,
                        ServeFallback, make_payload, payload_digest)
 from .cache import VARIANTS, CompiledEntry, ProgramCache
+from .faults import FAULT_KINDS, FaultPlan, FaultSpec, derive_unit
+from .resilience import (BreakerConfig, CircuitBreaker, Rejected,
+                         ResilienceConfig, RetryPolicy)
 from .scheduler import (POLICIES, FastestPlacement, LeastLoadedPlacement,
                         MachineInstance, ProgramServer, RoundRobinPlacement,
                         ServedApp, make_machines)
@@ -29,6 +37,9 @@ __all__ = [
     "AdmissionQueue", "Payload", "Request", "Response", "ServeFallback",
     "make_payload", "payload_digest",
     "VARIANTS", "CompiledEntry", "ProgramCache",
+    "FAULT_KINDS", "FaultPlan", "FaultSpec", "derive_unit",
+    "BreakerConfig", "CircuitBreaker", "Rejected", "ResilienceConfig",
+    "RetryPolicy",
     "POLICIES", "FastestPlacement", "LeastLoadedPlacement",
     "MachineInstance", "ProgramServer", "RoundRobinPlacement", "ServedApp",
     "make_machines",

@@ -89,6 +89,16 @@ class Request:
     #: trace identity (``repro.obs.RequestContext``), set only when the
     #: server runs with a tracer — ``None`` costs nothing
     ctx: Optional[Any] = None
+    #: execution attempt index: 0 for the original submission, bumped
+    #: for each retry/re-enqueue/hedge clone (``arrival_s`` stays the
+    #: original arrival so latency is always end-to-end)
+    attempt: int = 0
+    #: True for a hedge duplicate racing the primary attempt
+    hedge: bool = False
+    #: absolute simulated deadline, or None when deadlines are off
+    deadline_s: Optional[float] = None
+    #: per-attempt lifecycle timeline (tracing only; None untraced)
+    tl: Optional[Any] = None
 
 
 @dataclass(eq=False)
@@ -164,6 +174,16 @@ class AdmissionQueue:
             self._groups[key] = rest
         else:
             self._groups.pop(key, None)
+        return out
+
+    def drain(self) -> List[Request]:
+        """Remove and return every pending request, in group order then
+        FIFO — the shutdown sweep that turns stranded requests into
+        explicit rejections instead of silent losses."""
+        out: List[Request] = []
+        for key in sorted(self._groups):
+            out.extend(self._groups[key])
+        self._groups.clear()
         return out
 
     def __len__(self) -> int:

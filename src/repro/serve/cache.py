@@ -95,6 +95,23 @@ class ProgramCache:
             self.metrics.observe("serve.cache.compile_s", compile_s, app=app)
         return entry
 
+    def invalidate(self, app: Optional[str] = None) -> int:
+        """Drop cached compiles for ``app`` (or every app when ``None``
+        / ``"*"``) and return how many entries were evicted. The next
+        ``get`` recompiles and counts a miss — this is the hook the
+        fault plan's ``cache`` events use."""
+        if app in (None, "*"):
+            n = len(self._entries)
+            self._entries.clear()
+            self._by_digest.clear()
+            return n
+        victims = [k for k in self._entries if k[0] == app]
+        for k in victims:
+            del self._entries[k]
+        for k in [k for k in self._by_digest if k[0] == app]:
+            del self._by_digest[k]
+        return len(victims)
+
     def lookup(self, app: str, digest: str) -> Optional[CompiledEntry]:
         """Digest-pinned lookup: only an identical compile satisfies it."""
         return self._by_digest.get((app, digest))

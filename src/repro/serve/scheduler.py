@@ -21,16 +21,26 @@ Execution semantics mirror the backend contract:
 
 Placement is declarative (Mapple-style): a policy object chooses among
 idle machines and nothing else in the scheduler changes.
+
+Chaos and resilience (``faults.py`` / ``resilience.py``) hook into the
+same event loop: crash events cancel and re-enqueue in-flight batches,
+placement skips down or open-circuit replicas, kernel faults either
+force the recorded fallback path or hard-fail the attempt into the
+retry machinery, and every request ends as exactly one ``Response`` or
+one typed ``Rejected`` — never silently lost. All of it is guarded on
+the fault plan / resilience config being present, so a plain run stays
+byte-identical to the pre-chaos scheduler.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..backend import resolve_backend
 from ..core.ir import Program
+from ..obs.provenance import APPLIED, DecisionKind, DecisionLedger
 from ..obs.spans import RequestContext, RequestTimeline
 from ..runtime.executor import (ExecOptions, RunCapture, SimResult,
                                 Simulator, capture_run)
@@ -39,6 +49,10 @@ from ..runtime.machine import (DMLL_CPP, ClusterSpec, MACHINE_MODELS,
 from .batching import (AdmissionQueue, Payload, Request, Response,
                        ServeFallback, make_payload)
 from .cache import ProgramCache
+from .faults import FaultPlan
+from .resilience import (CircuitBreaker, OPEN, REJECT_DEADLINE,
+                         REJECT_RETRIES, REJECT_SHED, REJECT_UNSERVED,
+                         Rejected, ResilienceConfig)
 
 
 @dataclass
@@ -74,6 +88,12 @@ class MachineInstance:
     busy_until: float = 0.0
     busy_s: float = 0.0
     batches: int = 0
+    #: True while a scripted crash window holds this replica down
+    down: bool = False
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}[{self.index}]"
 
 
 def make_machines(spec: str) -> List[MachineInstance]:
@@ -88,7 +108,14 @@ def make_machines(spec: str) -> List[MachineInstance]:
         if name not in MACHINE_MODELS:
             raise ValueError(f"unknown machine model {name!r}; expected "
                              f"one of {sorted(MACHINE_MODELS)}")
-        n = int(count) if count else 1
+        try:
+            n = int(count) if count else 1
+        except ValueError:
+            raise ValueError(f"bad machine count in {part!r}: {count!r} "
+                             f"is not an integer") from None
+        if n < 1:
+            raise ValueError(f"bad machine count in {part!r}: count must "
+                             f"be >= 1, got {n}")
         for _ in range(n):
             gpu = name == "gpunode"
             out.append(MachineInstance(
@@ -163,6 +190,12 @@ class ProgramServer:
     (``serve.simulator``). ``on_complete`` callbacks fire per response
     in completion order — closed-loop workloads use them to issue the
     next request.
+
+    ``faults`` takes a :class:`~repro.serve.faults.FaultPlan` chaos
+    script and ``resilience`` a
+    :class:`~repro.serve.resilience.ResilienceConfig`; both default to
+    off, and an **empty** fault plan is normalized to ``None`` so a
+    zero-fault plan is bit-identical to no plan at all.
     """
 
     def __init__(self, apps: Sequence[ServedApp],
@@ -173,7 +206,9 @@ class ProgramServer:
                  metrics: Optional[Any] = None,
                  tracer: Optional[Any] = None,
                  cache: Optional[ProgramCache] = None,
-                 trace_seed: int = 0):
+                 trace_seed: int = 0,
+                 faults: Optional[FaultPlan] = None,
+                 resilience: Optional[ResilienceConfig] = None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_s < 0:
@@ -189,14 +224,43 @@ class ProgramServer:
         #: request trace ids derive from this seed (the traffic seed, so
         #: same-seed runs export byte-identical traces)
         self.trace_seed = trace_seed
+        #: an empty plan is falsy and treated exactly like no plan —
+        #: the fault layer's zero-cost-when-disabled contract
+        self.faults = faults if faults else None
+        self.res = resilience
         self.cache = cache or ProgramCache(
             {n: a.factory for n, a in self.apps.items()}, metrics=metrics)
         self.queue = AdmissionQueue()
         self.responses: List[Response] = []
         self.fallbacks: List[ServeFallback] = []
+        #: requests the server explicitly refused (shed, deadline,
+        #: retries exhausted, unserved at shutdown) — together with
+        #: ``responses`` this accounts for every submitted request
+        self.rejected: List[Rejected] = []
+        #: apps permanently routed to the reference path after repeated
+        #: kernel faults, with the recorded reason
+        self.degraded: Dict[str, str] = {}
+        #: serve-time decisions (degradations) — provenance for *why*
+        #: an app stopped using the vectorized path
+        self.ledger = DecisionLedger()
         self.on_complete: List[Callable[["ProgramServer", Response],
                                         None]] = []
+        #: fired when a request leaves as a typed ``Rejected`` — closed
+        #: loops treat the refusal as a completed interaction and issue
+        #: the client's next request
+        self.on_reject: List[Callable[["ProgramServer", Rejected],
+                                      None]] = []
+        # True while the post-loop drain rejects stranded requests;
+        # on_reject hooks are muted then (the event loop is gone, a
+        # submission issued now could never run)
+        self._draining = False
         self.now = 0.0
+        # resilience counters (all stay 0 on plain runs)
+        self.retries = 0
+        self.requeues = 0
+        self.hedges_launched = 0
+        self.hedges_wasted = 0
+        self.fault_counts: Dict[str, int] = {}
         self._events: List[Tuple[float, int, str, Any]] = []
         self._seq = 0
         self._rid = 0
@@ -206,6 +270,30 @@ class ProgramServer:
         # attached and enabled; the untraced path never touches it
         self._tracing = tracer is not None and tracer.enabled
         self._timelines: Dict[int, RequestTimeline] = {}
+        #: per-attempt timelines of retries / hedges / re-enqueues that
+        #: did not win, as (timeline, attempt, status) — tracing only
+        self._alt_tls: Dict[int, List[Tuple[RequestTimeline, int, str]]] = {}
+        # request/attempt accounting (the zero-lost-requests invariant:
+        # a rid leaves _open only into responses or rejected)
+        self._requests: Dict[int, Request] = {}
+        self._open: Dict[int, int] = {}
+        self._next_attempt: Dict[int, int] = {}
+        self._done: Set[int] = set()
+        self._rejected_rids: Set[int] = set()
+        self._executing: Set[int] = set()
+        self._hedged: Set[int] = set()
+        # fault/breaker state
+        self._inflight: Dict[int, Dict[str, Any]] = {}
+        self._cancelled: Set[int] = set()
+        self._kernel_strikes: Dict[str, int] = {}
+        self._app_attempts: Dict[str, int] = {}
+        self._retry_left = (resilience.retry.budget
+                            if resilience is not None
+                            and resilience.retry is not None else 0)
+        self._breakers: Optional[Dict[int, CircuitBreaker]] = None
+        if resilience is not None and resilience.breaker is not None:
+            self._breakers = {m.index: CircuitBreaker(resilience.breaker)
+                              for m in self.machines}
         # host-side memos: one functional execution per distinct
         # (app, variant, payload, backend); one pricing per machine model
         self._captures: Dict[Tuple[str, str, str, str], RunCapture] = {}
@@ -235,10 +323,16 @@ class ProgramServer:
         req = Request(self._rid, app, payload or self.payload_for(app),
                       at, client)
         self._rid += 1
+        if self.res is not None and self.res.deadline_s is not None:
+            req.deadline_s = at + self.res.deadline_s
+        self._requests[req.rid] = req
+        self._open[req.rid] = 1
+        self._next_attempt[req.rid] = 1
         if self._tracing:
             req.ctx = RequestContext.derive(self.trace_seed, req.rid)
             tl = RequestTimeline(req.ctx)
             tl.mark("arrive", at)
+            req.tl = tl
             self._timelines[req.rid] = tl
         self._push(at, "arrive", req)
         return req
@@ -247,54 +341,305 @@ class ProgramServer:
         heapq.heappush(self._events, (t, self._seq, kind, data))
         self._seq += 1
 
+    def _clone_attempt(self, req: Request, spawn_s: float,
+                       hedge: bool = False) -> Request:
+        """A fresh execution attempt for ``req``'s logical request:
+        same rid/payload/arrival (latency stays end-to-end), next
+        attempt index, its own per-attempt timeline."""
+        rid = req.rid
+        attempt = self._next_attempt[rid]
+        self._next_attempt[rid] = attempt + 1
+        clone = Request(rid, req.app, req.payload, req.arrival_s,
+                        req.client, ctx=req.ctx, attempt=attempt,
+                        hedge=hedge, deadline_s=req.deadline_s)
+        if self._tracing:
+            tl = RequestTimeline(req.ctx)
+            tl.mark("arrive", spawn_s)
+            clone.tl = tl
+        return clone
+
     # -- the event loop --------------------------------------------------
 
     def run(self, source: Optional[Any] = None) -> List[Response]:
         if source is not None:
             source.prime(self)
         if self.tracer is not None and self.tracer.enabled:
+            attrs: Dict[str, Any] = {}
+            if self.faults is not None:
+                attrs["faults"] = len(self.faults.specs)
             self._root = self.tracer.begin_run(
                 "serve", backend=self.backend,
                 policy=getattr(self.policy, "name", "?"),
                 machines=len(self.machines), max_batch=self.max_batch,
-                max_wait_s=self.max_wait_s)
+                max_wait_s=self.max_wait_s, **attrs)
+        if self.faults is not None:
+            self._schedule_faults()
         while self._events:
             t, _, kind, data = heapq.heappop(self._events)
             self.now = t
             if kind == "arrive":
-                self.queue.push(data)
-                if self._tracing:
-                    self._timelines[data.rid].mark("enqueue", t)
-                if self.metrics is not None:
-                    self.metrics.inc("serve.requests", app=data.app)
-                # the group must dispatch no later than this request's
-                # wait deadline even if the batch never fills
+                self._on_arrive(data, t)
+            elif kind == "retry":
+                self._enqueue_attempt(data, t)
                 self._push(t + self.max_wait_s, "flush", None)
                 self._dispatch(t)
+            elif kind == "hedge":
+                self._on_hedge(data, t)
+            elif kind == "crash":
+                self._on_crash(data, t)
+            elif kind == "recover":
+                self.machines[data].down = False
+                self._dispatch(t)
+            elif kind == "breaker":
+                self._dispatch(t)
+            elif kind == "cache-fault":
+                self._on_cache_fault(data, t)
             elif kind == "flush":
                 self._dispatch(t)
             else:  # complete
-                machine, responses = data
-                self.responses.extend(responses)
-                if self.metrics is not None:
-                    for r in responses:
-                        self.metrics.observe("serve.latency_s", r.latency_s,
-                                             app=r.request.app)
-                        self.metrics.observe("serve.queue_wait_s",
-                                             r.queue_wait_s)
-                for r in responses:
-                    for hook in self.on_complete:
-                        hook(self, r)
-                self._dispatch(t)
+                self._on_complete_event(data, t)
+        # zero-lost drain: anything still queued when the event loop
+        # runs dry (replicas down for good, budget exhausted) leaves as
+        # an explicit Rejected, never silently
+        self._drain_unserved()
         makespan = max((r.finish_s for r in self.responses), default=0.0)
         if self._root is not None:
-            self._root.dur_s = makespan
+            # the run span must cover *all* machine activity, not just
+            # kept responses: a wasted hedge batch (its twin won) or a
+            # late rejection can outlive the last winner, and the trace
+            # validator rejects slices that end after the run span
+            horizon = max([makespan]
+                          + [c.start_s + c.dur_s
+                             for c in self._root.children]
+                          + [j.t_s for j in self.rejected])
+            self._root.dur_s = horizon
             self._root.set(requests=len(self.responses),
                            batches=self._bid, makespan_s=makespan)
             self._emit_request_spans()
+            self._emit_attempt_spans(horizon)
+            if self.faults is not None:
+                self._emit_fault_spans(horizon)
         if self.metrics is not None:
             self.metrics.gauge("serve.makespan_s", makespan)
         return self.responses
+
+    def _schedule_faults(self) -> None:
+        """Turn the fault plan's scripted windows into loop events."""
+        for m in self.machines:
+            for t0, t1 in self.faults.crash_windows(m.label, m.name):
+                self._push(t0, "crash", m.index)
+                if t1 != float("inf"):
+                    self._push(t1, "recover", m.index)
+        for at, target in self.faults.cache_events():
+            self._push(at, "cache-fault", target)
+
+    # -- event handlers ---------------------------------------------------
+
+    def _on_arrive(self, req: Request, t: float) -> None:
+        if (self.res is not None and self.res.shed_depth is not None
+                and len(self.queue) >= self.res.shed_depth):
+            self._count("shed")
+            self._attempt_ended(req, REJECT_SHED, t)
+            return
+        self.queue.push(req)
+        if self._tracing:
+            req.tl.mark("enqueue", t)
+        if self.metrics is not None:
+            self.metrics.inc("serve.requests", app=req.app)
+        # the group must dispatch no later than this request's
+        # wait deadline even if the batch never fills
+        self._push(t + self.max_wait_s, "flush", None)
+        if self.res is not None and self.res.hedge_delay_s is not None:
+            self._push(t + self.res.hedge_delay_s, "hedge", req.rid)
+        self._dispatch(t)
+
+    def _enqueue_attempt(self, req: Request, t: float) -> None:
+        self.queue.push(req)
+        if self._tracing and req.tl is not None:
+            req.tl.mark("enqueue", t)
+
+    def _on_hedge(self, rid: int, t: float) -> None:
+        """Hedge timer: duplicate the request if its attempt is still
+        executing — first completion wins, the loser is dropped."""
+        if (rid in self._done or rid in self._rejected_rids
+                or rid in self._hedged or rid not in self._executing):
+            return
+        self._hedged.add(rid)
+        self.hedges_launched += 1
+        if self.metrics is not None:
+            self.metrics.inc("serve.hedges")
+        clone = self._clone_attempt(self._requests[rid], t, hedge=True)
+        self._open[rid] += 1
+        self._enqueue_attempt(clone, t)
+        self._push(t + self.max_wait_s, "flush", None)
+        self._dispatch(t)
+
+    def _on_crash(self, idx: int, t: float) -> None:
+        """A scripted crash: the replica goes down; its in-flight batch
+        (if any) is cancelled and every request re-enqueued."""
+        m = self.machines[idx]
+        m.down = True
+        self._count("crash")
+        if self._breakers is not None:
+            self._record_failure(idx, t)
+        inf = self._inflight.pop(idx, None)
+        if inf is not None:
+            self._cancelled.add(inf["bid"])
+            self._count("cancelled-batches")
+            # the unfinished tail never ran: free the busy accounting
+            m.busy_s -= inf["finish"] - t
+            m.busy_until = t
+            span = inf.get("span")
+            if span is not None:
+                span.dur_s = t - span.start_s
+                span.children.clear()
+                span.set(cancelled=True, cancelled_at_s=t)
+            for r in inf["requests"]:
+                self._executing.discard(r.rid)
+                if self._tracing and r.tl is not None:
+                    self._truncate_tl(r.tl, t)
+                    self._alt_tls.setdefault(r.rid, []).append(
+                        (r.tl, r.attempt, "requeued"))
+                if r.rid in self._done or r.rid in self._rejected_rids:
+                    self._open[r.rid] -= 1
+                    continue
+                clone = self._clone_attempt(r, t)
+                self.requeues += 1
+                self._enqueue_attempt(clone, t)
+            self._push(t + self.max_wait_s, "flush", None)
+        self._dispatch(t)
+
+    def _on_cache_fault(self, target: str, t: float) -> None:
+        """Scripted compile-cache invalidation: evict the cache entries
+        and the server's host-side memos so the next request recompiles
+        (surfacing as cache misses)."""
+        self._count("cache-invalidations")
+        self.cache.invalidate(None if target == "*" else target)
+        for memo, pos in ((self._captures, 0), (self._service, 1),
+                          (self._sims, 1)):
+            for k in [k for k in memo
+                      if target == "*" or k[pos] == target]:
+                del memo[k]
+
+    def _on_complete_event(self, data: Tuple[Any, ...], t: float) -> None:
+        machine, bid, responses = data
+        if bid in self._cancelled:
+            # the batch was cancelled by a crash after this event was
+            # scheduled; its requests were already re-enqueued
+            self._cancelled.discard(bid)
+            self._dispatch(t)
+            return
+        self._inflight.pop(machine.index, None)
+        if self._breakers is not None:
+            self._breakers[machine.index].record(t, True)
+        fresh = []
+        for r in responses:
+            rid = r.request.rid
+            self._executing.discard(rid)
+            self._open[rid] = self._open.get(rid, 1) - 1
+            if rid in self._done or rid in self._rejected_rids:
+                # a hedge/requeue race: another attempt already won
+                self.hedges_wasted += 1
+                if self._tracing and r.request.tl is not None:
+                    self._alt_tls.setdefault(rid, []).append(
+                        (r.request.tl, r.request.attempt, "superseded"))
+                continue
+            self._done.add(rid)
+            fresh.append(r)
+            if self._tracing:
+                self._finalize_timeline(r)
+        self.responses.extend(fresh)
+        if self.metrics is not None:
+            for r in fresh:
+                self.metrics.observe("serve.latency_s", r.latency_s,
+                                     app=r.request.app)
+                self.metrics.observe("serve.queue_wait_s",
+                                     r.queue_wait_s)
+        for r in fresh:
+            for hook in self.on_complete:
+                hook(self, r)
+        self._dispatch(t)
+
+    # -- rejection bookkeeping -------------------------------------------
+
+    def _count(self, key: str) -> None:
+        self.fault_counts[key] = self.fault_counts.get(key, 0) + 1
+
+    def _record_failure(self, idx: int, now: float) -> None:
+        """Feed a failure to the machine's breaker; if it trips (or
+        re-trips from half-open), schedule a wake-up for when the
+        cooldown expires so a quiet queue can't strand requests."""
+        b = self._breakers[idx]
+        was_open = b.state == OPEN
+        b.record(now, False)
+        if b.state == OPEN and not was_open:
+            self._count("breaker-trips")
+            if self.metrics is not None:
+                self.metrics.inc("serve.breaker.trips",
+                                 machine=self.machines[idx].name)
+            self._push(b.opened_at + b.config.cooldown_s, "breaker", None)
+
+    def _attempt_ended(self, req: Request, reason: str, t: float,
+                       status: Optional[str] = None) -> None:
+        """An attempt died without completing (shed / deadline / retry
+        exhausted / shutdown). When it was the rid's last live attempt,
+        the request leaves as a typed ``Rejected``."""
+        rid = req.rid
+        self._open[rid] = self._open.get(rid, 1) - 1
+        if self._tracing and req.tl is not None:
+            self._alt_tls.setdefault(rid, []).append(
+                (req.tl, req.attempt, status or reason))
+        if (self._open[rid] <= 0 and rid not in self._done
+                and rid not in self._rejected_rids):
+            self._rejected_rids.add(rid)
+            self.rejected.append(Rejected(
+                rid, req.app, reason, t, arrival_s=req.arrival_s,
+                client=req.client, attempts=self._next_attempt.get(rid, 1)))
+            if self.metrics is not None:
+                self.metrics.inc("serve.rejected", app=req.app,
+                                 reason=reason)
+            if not self._draining:
+                for hook in self.on_reject:
+                    hook(self, self.rejected[-1])
+
+    def _drain_unserved(self) -> None:
+        self._draining = True
+        try:
+            for r in self.queue.drain():
+                self._attempt_ended(r, REJECT_UNSERVED, self.now)
+        finally:
+            self._draining = False
+
+    # -- tracing helpers --------------------------------------------------
+
+    @staticmethod
+    def _truncate_tl(tl: RequestTimeline, t: float) -> None:
+        """Clamp a cancelled attempt's timeline at the cancel instant
+        (fallback batches pre-mark staggered exec windows that may lie
+        beyond the crash)."""
+        for stage in list(tl.marks):
+            if tl.marks[stage] > t:
+                del tl.marks[stage]
+        tl.marks["complete"] = t
+
+    def _finalize_timeline(self, resp: Response) -> None:
+        """Install the winning attempt's timeline as the request's
+        timeline. Later attempts re-anchor ``arrive`` at the *original*
+        arrival so the exact decomposition identity covers the full
+        end-to-end latency (backoff and failed attempts land in
+        ``admission_s``); the per-attempt view stays available through
+        ``attempt_timelines_of``."""
+        req = resp.request
+        if req.tl is None:
+            return
+        if req.attempt > 0:
+            final = RequestTimeline(req.ctx)
+            final.marks = dict(req.tl.marks)
+            final.marks["arrive"] = req.arrival_s
+            self._timelines[req.rid] = final
+            self._alt_tls.setdefault(req.rid, []).append(
+                (req.tl, req.attempt, "served"))
+        # attempt 0: self._timelines[rid] already is req.tl
 
     def _emit_request_spans(self) -> None:
         """Per-request lifecycle spans (arrive → complete) with queue and
@@ -312,6 +657,8 @@ class ProgramServer:
             if t0 is None or t_end is None:
                 continue
             attrs = {f"{stage}_s": t for stage, t in tl.ordered()}
+            if req.attempt > 0:
+                attrs["attempts"] = req.attempt + 1
             rsp = self._root.child(
                 f"r{req.rid}:{req.app}", "request", t0, t_end - t0,
                 rid=req.rid, app=req.app, trace_id=ctx.trace_id,
@@ -330,26 +677,130 @@ class ProgramServer:
                 rsp.child("exec", "exec", t_x0, t_end - t_x0,
                           rid=req.rid, batch_id=resp.batch_id)
 
+    def _emit_attempt_spans(self, makespan: float) -> None:
+        """One sibling span per execution attempt (their own trace
+        process) for every request that needed more than one — retries,
+        hedges, crash re-enqueues — indexed by attempt and labelled
+        with how that attempt ended."""
+        if not self._alt_tls:
+            return
+        by_rid = {r.request.rid: r for r in self.responses}
+        for rid in sorted(self._alt_tls):
+            resp = by_rid.get(rid)
+            entries = list(self._alt_tls[rid])
+            win_end: Optional[float] = None
+            if resp is not None:
+                win_end = resp.finish_s
+                if resp.request.attempt == 0 and resp.request.tl is not None:
+                    entries.append((resp.request.tl, 0, "served"))
+            for tl, attempt, status in sorted(entries, key=lambda e: e[1]):
+                times = [t for _, t in tl.ordered()]
+                if not times:
+                    continue
+                t1 = max(times)
+                if win_end is not None:
+                    t1 = min(t1, win_end)
+                t1 = min(t1, makespan)
+                t0 = min(min(times), t1)
+                self._root.child(
+                    f"r{rid}:a{attempt}", "attempt", t0, t1 - t0,
+                    rid=rid, attempt=attempt, status=status,
+                    **{f"{stage}_s": t for stage, t in tl.ordered()})
+
+    def _emit_fault_spans(self, makespan: float) -> None:
+        """Scripted crash windows as fault spans on the machine tracks
+        (clipped to the run), so chaos is visible where it struck."""
+        for m in self.machines:
+            for t0, t1 in self.faults.crash_windows(m.label, m.name):
+                if t0 >= makespan:
+                    continue
+                t1 = min(t1, makespan)
+                self._root.child(
+                    f"crash:{m.label}", "fault", t0, t1 - t0,
+                    machine=m.index, machine_name=m.name, fault="crash")
+
+    def resilience_summary(self) -> Optional[Dict[str, Any]]:
+        """Shed/retry/hedge/breaker counts and per-fault attribution for
+        the report — ``None`` when neither a fault plan nor a resilience
+        config was active (so plain reports stay byte-identical)."""
+        if self.faults is None and self.res is None:
+            return None
+        by_reason: Dict[str, int] = {}
+        for j in self.rejected:
+            by_reason[j.reason] = by_reason.get(j.reason, 0) + 1
+        out: Dict[str, Any] = {
+            "rejected": len(self.rejected),
+            "rejected_by_reason": dict(sorted(by_reason.items())),
+            "retries": self.retries,
+            "retry_budget_left": self._retry_left,
+            "requeues": self.requeues,
+            "hedges": self.hedges_launched,
+            "hedges_wasted": self.hedges_wasted,
+            "degraded": dict(sorted(self.degraded.items())),
+            "fault_counts": dict(sorted(self.fault_counts.items())),
+        }
+        if self._breakers is not None:
+            out["breaker"] = {
+                self.machines[i].label: {"state": b.state, "trips": b.trips}
+                for i, b in sorted(self._breakers.items())}
+        return out
+
     def timeline_of(self, rid: int) -> Optional[RequestTimeline]:
         """The recorded lifecycle timeline for a request (tracing only)."""
         return self._timelines.get(rid)
 
+    def attempt_timelines_of(self, rid: int
+                             ) -> List[Tuple[int, str, RequestTimeline]]:
+        """All recorded per-attempt timelines for a request, as
+        ``(attempt, status, timeline)`` sorted by attempt — the
+        per-attempt decomposition input (tracing only)."""
+        out = [(a, status, tl)
+               for tl, a, status in self._alt_tls.get(rid, [])]
+        for r in self.responses:
+            if r.request.rid == rid and r.request.tl is not None:
+                if r.request.attempt == 0 or not any(
+                        a == r.request.attempt for a, _, _ in out):
+                    out.append((r.request.attempt, "served", r.request.tl))
+        return sorted(out, key=lambda e: e[0])
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _machine_available(self, m: MachineInstance, now: float) -> bool:
+        if m.busy_until > now + 1e-15 or m.down:
+            return False
+        if self._breakers is not None:
+            return self._breakers[m.index].allow(now)
+        return True
+
     def _dispatch(self, now: float) -> None:
         while True:
-            idle = [m for m in self.machines if m.busy_until <= now + 1e-15]
+            idle = [m for m in self.machines
+                    if self._machine_available(m, now)]
             if not idle:
                 return
             key = self.queue.next_ready(now, self.max_batch, self.max_wait_s)
             if key is None:
                 return
             requests = self.queue.take(key, self.max_batch)
+            if self.res is not None and self.res.deadline_s is not None:
+                live = []
+                for r in requests:
+                    if (r.deadline_s is not None
+                            and now >= r.deadline_s - 1e-15):
+                        self._count("deadline")
+                        self._attempt_ended(r, REJECT_DEADLINE, now)
+                    else:
+                        live.append(r)
+                if not live:
+                    continue
+                requests = live
             if self._tracing:
                 for r in requests:
-                    self._timelines[r.rid].mark("seal", now)
+                    r.tl.mark("seal", now)
             machine = self.policy.place(self, idle, requests, now)
             if self._tracing:
                 for r in requests:
-                    self._timelines[r.rid].mark("dispatch", now)
+                    r.tl.mark("dispatch", now)
             self._execute_batch(machine, requests, now)
 
     # -- execution --------------------------------------------------------
@@ -415,6 +866,56 @@ class ProgramServer:
             self._captures[ckey] = cap
         return cap
 
+    def _degrade_check(self, app: str, now: float) -> None:
+        """Repeated kernel faults permanently route the app to the
+        reference path, with a provenance Decision recording why."""
+        strikes = self._kernel_strikes[app]
+        limit = self.res.degrade_after if self.res is not None else 3
+        if strikes >= limit and app not in self.degraded:
+            reason = (f"{strikes} consecutive kernel faults; serving "
+                      f"from the reference interpreter")
+            self.degraded[app] = reason
+            self._count("degraded-apps")
+            self.ledger.record(DecisionKind.SERVE_DEGRADE, f"serve:{app}",
+                               APPLIED, reason, strikes=strikes,
+                               at_s=now)
+            if self.metrics is not None:
+                self.metrics.inc("serve.degraded", app=app)
+
+    def _fail_batch(self, machine: MachineInstance, requests: List[Request],
+                    now: float, bid: int, reason: str) -> None:
+        """A hard kernel fault: the attempt dies instantly; each request
+        retries (budget and attempts permitting) or leaves Rejected."""
+        if self._breakers is not None:
+            self._record_failure(machine.index, now)
+        if self.metrics is not None:
+            self.metrics.inc("serve.kernel_faults", app=requests[0].app)
+        if self._root is not None:
+            self._root.child(
+                f"b{bid}:{requests[0].app}!fault", "fault", now, 0.0,
+                machine=machine.index, machine_name=machine.name,
+                app=requests[0].app, batch_id=bid, fault="kernel-error",
+                reason=reason)
+        rp = self.res.retry if self.res is not None else None
+        for r in requests:
+            self._executing.discard(r.rid)
+            if self._tracing and r.tl is not None:
+                r.tl.mark("complete", now)
+            nxt = r.attempt + 1
+            if (rp is not None and nxt < rp.max_attempts
+                    and self._retry_left > 0):
+                self._retry_left -= 1
+                self.retries += 1
+                if self._tracing and r.tl is not None:
+                    self._alt_tls.setdefault(r.rid, []).append(
+                        (r.tl, r.attempt, "failed"))
+                delay = rp.delay_s(self.trace_seed, r.rid, nxt)
+                clone = self._clone_attempt(r, now)
+                self._push(now + delay, "retry", clone)
+            else:
+                self._attempt_ended(r, REJECT_RETRIES, now,
+                                    status="failed")
+
     def _execute_batch(self, machine: MachineInstance,
                        requests: List[Request], now: float) -> None:
         app = requests[0].app
@@ -422,9 +923,16 @@ class ProgramServer:
         n = len(requests)
         bid = self._bid
         self._bid += 1
+        for r in requests:
+            self._executing.add(r.rid)
+        if self._breakers is not None:
+            # a half-open breaker's probe is in flight from placement on
+            self._breakers[machine.index].on_dispatch(now)
 
         fallback_reason: Optional[str] = None
-        if self.backend == "numpy":
+        if app in self.degraded:
+            fallback_reason = f"degraded: {self.degraded[app]}"
+        elif self.backend == "numpy":
             try:
                 cap = self._capture(app, machine.variant, payload)
             except Exception as exc:  # recorded, never silent
@@ -433,11 +941,36 @@ class ProgramServer:
             fallback_reason = (f"backend={self.backend!r} has no lane "
                                f"axis; per-request reference execution")
 
-        mname = f"{machine.name}[{machine.index}]"
+        if self.faults is not None and fallback_reason is None:
+            attempt_no = self._app_attempts.get(app, 0)
+            self._app_attempts[app] = attempt_no + 1
+            spec = self.faults.kernel_fault(app, now, attempt_no)
+            if spec is not None:
+                self._kernel_strikes[app] = \
+                    self._kernel_strikes.get(app, 0) + 1
+                self._degrade_check(app, now)
+                if spec.mode == "error":
+                    self._count("kernel-error")
+                    self._fail_batch(machine, requests, now, bid,
+                                     f"fault-injected kernel error "
+                                     f"(target {spec.target!r})")
+                    return
+                self._count("kernel-fallback")
+                fallback_reason = (f"fault-injected kernel failure "
+                                   f"(target {spec.target!r})")
+            else:
+                self._kernel_strikes[app] = 0
+
+        slow = (self.faults.slow_factor(machine.label, machine.name, now)
+                if self.faults is not None else 1.0)
+        if slow != 1.0:
+            self._count("slowed-batches")
+
+        mname = machine.label
         if fallback_reason is None:
             # lane-packed path: ONE execution serves every request in
             # the group — its lanes are the batch
-            svc = self._price(machine, app, cap, payload)
+            svc = self._price(machine, app, cap, payload) * slow
             finish = now + svc
             responses = [Response(r, cap.results, cap.stats, cap.backend,
                                   bid, n, now, finish, lane_packed=n > 1,
@@ -445,14 +978,13 @@ class ProgramServer:
                          for r in requests]
             if self._tracing:
                 for r in requests:
-                    tl = self._timelines[r.rid]
-                    tl.mark("exec_start", now)
-                    tl.mark("complete", finish)
+                    r.tl.mark("exec_start", now)
+                    r.tl.mark("complete", finish)
             if self.metrics is not None and n > 1:
                 self.metrics.inc("serve.lane_packed_requests", n, app=app)
         else:
             cap = self._reference_capture(app, machine.variant, payload)
-            single = self._price(machine, app, cap, payload)
+            single = self._price(machine, app, cap, payload) * slow
             svc = single * n
             responses = [Response(r, cap.results, cap.stats, cap.backend,
                                   bid, n, now, now + single * (i + 1),
@@ -464,9 +996,8 @@ class ProgramServer:
                 # fallback executions run back-to-back, so each request's
                 # exec window is its own slot in the serialized batch
                 for i, r in enumerate(requests):
-                    tl = self._timelines[r.rid]
-                    tl.mark("exec_start", now + single * i)
-                    tl.mark("complete", now + single * (i + 1))
+                    r.tl.mark("exec_start", now + single * i)
+                    r.tl.mark("complete", now + single * (i + 1))
             finish = now + svc
             self.fallbacks.append(ServeFallback(app, fallback_reason, n))
             if self.metrics is not None:
@@ -480,14 +1011,18 @@ class ProgramServer:
             self.metrics.observe("serve.batch_size", float(n), app=app)
             self.metrics.observe("serve.service_s", svc,
                                  machine=machine.name)
+        bsp = None
         if self._root is not None:
+            extra: Dict[str, Any] = {}
+            if slow != 1.0:
+                extra["slow_factor"] = slow
             bsp = self._root.child(
                 f"b{bid}:{app}x{n}", "batch", now, svc,
                 machine=machine.index, machine_name=machine.name,
                 app=app, batch=n, batch_id=bid,
                 lane_packed=fallback_reason is None and n > 1,
                 backend=cap.backend, service_s=svc,
-                fallback=fallback_reason)
+                fallback=fallback_reason, **extra)
             skey = (machine.name, app, machine.variant, payload.key,
                     cap.backend)
             sim = self._sims.get(skey)
@@ -506,4 +1041,8 @@ class ProgramServer:
                               comm_s=loop.comm_s,
                               overhead_s=loop.overhead_s)
                     cursor += loop.time_s
-        self._push(finish, "complete", (machine, responses))
+        if self.faults is not None or self.res is not None:
+            self._inflight[machine.index] = {
+                "bid": bid, "requests": requests, "span": bsp,
+                "finish": finish}
+        self._push(finish, "complete", (machine, bid, responses))

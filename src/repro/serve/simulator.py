@@ -59,6 +59,8 @@ class OpenLoop:
                  seed: int = 0, payloads: int = 1):
         if rate_rps <= 0:
             raise ValueError("rate_rps must be > 0")
+        if requests < 1:
+            raise ValueError(f"requests must be >= 1, got {requests}")
         self.apps = list(apps)
         self.rate_rps = rate_rps
         self.requests = requests
@@ -85,6 +87,8 @@ class ClosedLoop:
                  think_s: float = 0.0, seed: int = 0, payloads: int = 1):
         if clients < 1:
             raise ValueError("clients must be >= 1")
+        if requests < 1:
+            raise ValueError(f"requests must be >= 1, got {requests}")
         self.apps = list(apps)
         self.clients = clients
         self.requests = requests
@@ -108,6 +112,7 @@ class ClosedLoop:
         self._rng = random.Random(self.seed)
         self._issued = 0
         server.on_complete.append(self._on_complete)
+        server.on_reject.append(self._on_reject)
         for c in range(min(self.clients, self.requests)):
             self._issue(server, c, at=0.0)
 
@@ -115,6 +120,12 @@ class ClosedLoop:
         if resp.request.client >= 0:
             self._issue(server, resp.request.client,
                         at=resp.finish_s + self.think_s)
+
+    def _on_reject(self, server: ProgramServer, rej) -> None:
+        # a refusal is still an answer: the client moves on, so a
+        # deadline or shed storm can't stall the closed loop
+        if rej.client >= 0:
+            self._issue(server, rej.client, at=rej.t_s + self.think_s)
 
 
 @dataclass
@@ -136,6 +147,10 @@ class ServeReport:
     fallbacks: int
     cache: Dict[str, int]
     machine_util: Dict[str, float]
+    #: served / (served + rejected); 1.0 when nothing was refused
+    availability: float = 1.0
+    #: requests the server explicitly refused (see ``rejected_detail``)
+    rejected: int = 0
     latencies_s: List[float] = field(default_factory=list)
     #: per-app / per-serving-replica latency summaries (count, mean,
     #: p50/p95/p99) — top-level keys above stay unchanged
@@ -149,6 +164,13 @@ class ServeReport:
     #: per machine (``repro.obs.analyze.decomposition_summary``) —
     #: present only when the run was traced (request timelines exist)
     decomposition: Optional[Dict[str, Any]] = None
+    #: shed/retry/hedge/breaker counts, per-fault attribution and the
+    #: typed rejection records — present only when a fault plan or
+    #: resilience config was active (plain reports stay byte-identical)
+    resilience: Optional[Dict[str, Any]] = None
+    #: post-fault SLO recovery evaluation, attached by the CLI's
+    #: ``--chaos`` mode
+    chaos: Optional[Dict[str, Any]] = None
 
     def render(self) -> str:
         from ..report.tables import render_table
@@ -166,6 +188,22 @@ class ServeReport:
             ["program cache", f"{self.cache['hits']} hits / "
                               f"{self.cache['misses']} compiles"],
         ]
+        if self.resilience is not None:
+            r = self.resilience
+            rows.append(["availability",
+                         f"{self.availability * 100.0:.2f}% "
+                         f"({self.rejected} rejected)"])
+            rows.append(["resilience",
+                         f"retries {r['retries']}  requeues "
+                         f"{r['requeues']}  hedges {r['hedges']}"
+                         f" (wasted {r['hedges_wasted']})"])
+            if r["fault_counts"]:
+                rows.append(["faults",
+                             "  ".join(f"{k}={v}" for k, v in
+                                       r["fault_counts"].items())])
+            if r["degraded"]:
+                rows.append(["degraded apps",
+                             ", ".join(sorted(r["degraded"]))])
         for name, util in sorted(self.machine_util.items()):
             rows.append([f"util {name}", f"{util * 100.0:.1f}%"])
         for app, st in sorted(self.latency_by_app.items()):
@@ -189,7 +227,8 @@ class ServeReport:
 
     def to_json(self) -> Dict[str, Any]:
         doc = {k: v for k, v in self.__dict__.items()
-               if k not in ("latencies_s", "slo", "decomposition")}
+               if k not in ("latencies_s", "slo", "decomposition",
+                            "resilience", "chaos")}
         # the CI latency-histogram artifact: bucketed counts over the
         # full latency range plus the raw quantiles above
         doc["latency_histogram"] = self.latency_histogram()
@@ -197,6 +236,10 @@ class ServeReport:
             doc["slo"] = self.slo
         if self.decomposition is not None:
             doc["decomposition"] = self.decomposition
+        if self.resilience is not None:
+            doc["resilience"] = self.resilience
+        if self.chaos is not None:
+            doc["chaos"] = self.chaos
         return doc
 
     def latency_histogram(self, buckets: int = 20) -> Dict[str, Any]:
@@ -219,7 +262,9 @@ class ServeSim:
                  policy: str = "round-robin",
                  backend: Optional[str] = None, payloads: int = 1,
                  metrics: Optional[Any] = None,
-                 tracer: Optional[Any] = None):
+                 tracer: Optional[Any] = None,
+                 faults: Optional[Any] = None,
+                 resilience: Optional[Any] = None):
         self.app_names = list(apps)
         self.served = [ServedApp.from_bundle(a) for a in self.app_names]
         self.machine_spec = machines
@@ -230,6 +275,8 @@ class ServeSim:
         self.payloads = payloads
         self.metrics = metrics
         self.tracer = tracer
+        self.faults = faults
+        self.resilience = resilience
         #: compile once — every run() below serves from this cache
         self.cache = ProgramCache({a.name: a.factory for a in self.served},
                                   metrics=metrics)
@@ -241,7 +288,8 @@ class ServeSim:
             max_batch=self.max_batch, max_wait_s=self.max_wait_s,
             policy=self.policy, backend=self.backend,
             metrics=self.metrics, tracer=self.tracer, cache=self.cache,
-            trace_seed=trace_seed)
+            trace_seed=trace_seed, faults=self.faults,
+            resilience=self.resilience)
 
     def run_open(self, rate_rps: float, requests: int,
                  seed: int = 0) -> ServeReport:
@@ -277,6 +325,11 @@ class ServeSim:
             by_app.setdefault(r.request.app, []).append(r.latency_s)
             by_machine.setdefault(r.machine or "?", []).append(r.latency_s)
         batch_sizes = list(seen.values())
+        rejected = getattr(server, "rejected", [])
+        total = len(responses) + len(rejected)
+        resilience = server.resilience_summary()
+        if resilience is not None:
+            resilience["rejected_detail"] = [j.to_json() for j in rejected]
         return ServeReport(
             mode=mode,
             requests=len(responses),
@@ -292,6 +345,8 @@ class ServeSim:
             batch_max=max(batch_sizes, default=0),
             lane_packed_requests=sum(1 for r in responses if r.lane_packed),
             fallbacks=len(server.fallbacks),
+            availability=(len(responses) / total) if total else 1.0,
+            rejected=len(rejected),
             cache=server.cache.stats(),
             machine_util={
                 f"{m.name}[{m.index}]":
@@ -300,7 +355,8 @@ class ServeSim:
             latencies_s=lats,
             latency_by_app=latency_breakdown(by_app),
             latency_by_machine=latency_breakdown(by_machine),
-            decomposition=ServeSim._decomposition_of(server))
+            decomposition=ServeSim._decomposition_of(server),
+            resilience=resilience)
 
     @staticmethod
     def _decomposition_of(server: ProgramServer) -> Optional[Dict[str, Any]]:

@@ -246,6 +246,34 @@ def _add_traffic_args(ap) -> None:
                     default="numpy",
                     help="functional engine; only numpy lane-packs "
                          "(default %(default)s)")
+    # chaos / resilience (all off by default: a plain run stays
+    # byte-identical to one where these flags never existed)
+    ap.add_argument("--faults", metavar="PLAN.json",
+                    help="seeded fault-injection plan: crash windows, "
+                         "slow replicas, kernel faults, cache drops "
+                         "(see examples/faults_outage.json)")
+    ap.add_argument("--timeout-ms", type=float, default=None,
+                    help="per-request deadline in simulated ms; late "
+                         "attempts are rejected, never silently served")
+    ap.add_argument("--retry", type=int, default=None, metavar="N",
+                    help="max attempts per request; enables retries "
+                         "with seeded exponential backoff")
+    ap.add_argument("--retry-budget", type=int, default=64,
+                    help="global cap on extra attempts across the run "
+                         "(default %(default)s)")
+    ap.add_argument("--hedge-ms", type=float, default=None,
+                    help="launch one hedged duplicate if a dispatched "
+                         "request is still unfinished after this long")
+    ap.add_argument("--shed-depth", type=int, default=None,
+                    help="admission-queue depth above which arrivals "
+                         "are shed with a typed rejection")
+    ap.add_argument("--breaker", action="store_true",
+                    help="per-machine circuit breakers (sliding-window "
+                         "failure rate; open replicas are skipped)")
+    ap.add_argument("--degrade-after", type=int, default=3,
+                    help="consecutive kernel faults before an app "
+                         "degrades to the reference path "
+                         "(default %(default)s)")
 
 
 def _check_traffic_args(args, prog: str) -> int:
@@ -263,19 +291,68 @@ def _check_traffic_args(args, prog: str) -> int:
     if args.requests < 1 or args.batch < 1 or args.payloads < 1:
         print("--requests/--batch/--payloads must be >= 1", file=sys.stderr)
         return EXIT_USAGE
+    if args.retry is not None and args.retry < 1:
+        print("--retry must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    for flag, val in (("--timeout-ms", args.timeout_ms),
+                      ("--hedge-ms", args.hedge_ms)):
+        if val is not None and val <= 0:
+            print(f"{flag} must be > 0", file=sys.stderr)
+            return EXIT_USAGE
+    if args.shed_depth is not None and args.shed_depth < 1:
+        print("--shed-depth must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    if args.retry_budget < 0 or args.degrade_after < 1:
+        print("--retry-budget must be >= 0 and --degrade-after >= 1",
+              file=sys.stderr)
+        return EXIT_USAGE
     return EXIT_OK
+
+
+def _resilience_of(args):
+    """``(FaultPlan, ResilienceConfig)`` from parsed traffic flags —
+    both ``None`` when the matching flags are absent, so plain runs
+    take the exact pre-chaos code path. Raises ``ValueError`` on an
+    unreadable or malformed fault plan."""
+    from .serve import (BreakerConfig, FaultPlan, ResilienceConfig,
+                        RetryPolicy)
+    plan = None
+    if args.faults:
+        try:
+            plan = FaultPlan.load(args.faults)
+        except OSError as exc:
+            raise ValueError(
+                f"cannot load fault plan {args.faults}: {exc}") from None
+    retry = (RetryPolicy(max_attempts=args.retry, budget=args.retry_budget)
+             if args.retry is not None else None)
+    breaker = BreakerConfig() if args.breaker else None
+    res = None
+    if (retry is not None or breaker is not None
+            or args.timeout_ms is not None or args.hedge_ms is not None
+            or args.shed_depth is not None):
+        res = ResilienceConfig(
+            deadline_s=(args.timeout_ms / 1e3
+                        if args.timeout_ms is not None else None),
+            retry=retry,
+            hedge_delay_s=(args.hedge_ms / 1e3
+                           if args.hedge_ms is not None else None),
+            shed_depth=args.shed_depth,
+            breaker=breaker,
+            degrade_after=args.degrade_after)
+    return plan, res
 
 
 def _run_traffic(args, metrics, tracer):
     """Build a ``ServeSim`` from parsed traffic flags and run it.
     Returns ``(sim, report)``; raises ``ValueError`` on bad specs."""
     from .serve import ServeSim
+    faults, resilience = _resilience_of(args)
     sim = ServeSim(args.apps, machines=args.machines,
                    max_batch=args.batch,
                    max_wait_s=args.max_wait_ms / 1e3,
                    policy=args.policy, backend=args.backend,
                    payloads=args.payloads, metrics=metrics,
-                   tracer=tracer)
+                   tracer=tracer, faults=faults, resilience=resilience)
     if args.rate is not None:
         report = sim.run_open(args.rate, args.requests, seed=args.seed)
     else:
@@ -313,6 +390,11 @@ def serve_main(argv=None) -> int:
                     help="evaluate an SLO spec over the run and attach "
                          "the result to the report (informational; use "
                          "slo-report to gate on it)")
+    ap.add_argument("--chaos", action="store_true",
+                    help="chaos report mode (needs --faults and --slo): "
+                         "re-score the SLO spec over traffic completing "
+                         "after the last scripted disruption and exit "
+                         "nonzero unless the system recovered")
     ap.add_argument("--metrics", action="store_true",
                     help="print the serving metrics registry")
     ap.add_argument("--json", action="store_true",
@@ -324,6 +406,9 @@ def serve_main(argv=None) -> int:
     rc = _check_traffic_args(args, "serve-sim")
     if rc != EXIT_OK:
         return rc
+    if args.chaos and not (args.faults and args.slo):
+        print("--chaos requires both --faults and --slo", file=sys.stderr)
+        return EXIT_USAGE
 
     from .obs import (MetricsRegistry, Tracer, evaluate_slo, write_chrome_trace,
                       write_collapsed, write_prometheus)
@@ -348,9 +433,29 @@ def serve_main(argv=None) -> int:
         return EXIT_USAGE
 
     slo_report = None
+    rejected = getattr(sim.last_server, "rejected", [])
     if spec is not None:
-        slo_report = evaluate_slo(spec, sim.last_server.responses)
+        slo_report = evaluate_slo(spec, sim.last_server.responses,
+                                  rejected=rejected)
         report.slo = slo_report.to_json()
+    recovered = True
+    if args.chaos:
+        # recovery gate: score only traffic that outlived the scripted
+        # chaos — the run may burn budget *during* the outage, but the
+        # post-fault tail must meet the SLO or the exit status says so
+        cut = sim.faults.last_disruption_s() if sim.faults else 0.0
+        post = [r for r in sim.last_server.responses if r.finish_s >= cut]
+        post_rej = [j for j in rejected if j.t_s >= cut]
+        recovery = (evaluate_slo(spec, post, rejected=post_rej)
+                    if post else None)
+        recovered = recovery is not None and recovery.ok
+        report.chaos = {
+            "recovery_from_s": cut,
+            "post_responses": len(post),
+            "post_rejected": len(post_rej),
+            "recovered": recovered,
+            "slo": None if recovery is None else recovery.to_json(),
+        }
     if args.json:
         print(_json.dumps(report.to_json(), indent=2, default=str))
     else:
@@ -375,6 +480,13 @@ def serve_main(argv=None) -> int:
     if args.metrics_out:
         write_prometheus(args.metrics_out, metrics)
         print(f"wrote Prometheus metrics to {args.metrics_out}")
+    if args.chaos:
+        if not recovered:
+            print("CHAOS: SLO not recovered after the last scripted fault",
+                  file=sys.stderr)
+            return EXIT_FAIL
+        if not args.json:
+            print("CHAOS: post-fault traffic meets the SLO")
     return EXIT_OK
 
 
@@ -418,7 +530,8 @@ def slo_main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
-    result = evaluate_slo(spec, sim.last_server.responses)
+    result = evaluate_slo(spec, sim.last_server.responses,
+                          rejected=getattr(sim.last_server, "rejected", []))
     if args.json:
         print(_json.dumps(result.to_json(), indent=2, default=str))
     else:

@@ -255,6 +255,17 @@ class TestPlacement:
         with pytest.raises(ValueError):
             make_machines("")
 
+    def test_make_machines_rejects_bad_counts(self):
+        with pytest.raises(ValueError, match="not an integer"):
+            make_machines("numa*x")
+        with pytest.raises(ValueError, match="count must be >= 1"):
+            make_machines("numa*0")
+        with pytest.raises(ValueError, match="count must be >= 1"):
+            make_machines("numa*-2")
+        # the offending part is named so "a*0,b*x" is debuggable
+        with pytest.raises(ValueError, match="numa\\*0"):
+            make_machines("gpunode,numa*0")
+
     @pytest.mark.parametrize("policy", sorted(POLICIES))
     def test_policies_spread_salted_load(self, policy):
         served = ServedApp.from_bundle("q1")
@@ -359,6 +370,16 @@ class TestServeSim:
                     "latency_p99_s", "latency_histogram"):
             assert key in doc
         assert set(doc["latency_by_machine"]) <= {"numa[0]", "numa[1]"}
+
+    def test_traffic_rejects_nonpositive_requests(self):
+        from repro.serve import ClosedLoop, OpenLoop
+        with pytest.raises(ValueError, match="requests must be >= 1"):
+            OpenLoop(["q1"], rate_rps=100.0, requests=0)
+        with pytest.raises(ValueError, match="requests must be >= 1"):
+            ClosedLoop(["q1"], clients=2, requests=-3)
+        sim = ServeSim(["q1"], backend="numpy")
+        with pytest.raises(ValueError):
+            sim.run_closed(clients=2, requests=0, seed=0)
 
     def test_responses_name_their_machine(self):
         sim = ServeSim(["q1"], machines="numa*2", backend="numpy")
